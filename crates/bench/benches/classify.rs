@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the classification pipeline itself: decision-tree
+//! training, tree query (the O(log n) claim of Section III-D), the
+//! profile-guided rule evaluation, and a full simulated bounds measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparseopt_classifier::{
+    Bottleneck, ClassSet, FeatureGuidedClassifier, LabeledMatrix, PerClassBounds,
+    ProfileGuidedClassifier, SimBoundsProfiler, BoundsProfiler,
+};
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::{generators as g, FeatureSet, MatrixFeatures};
+use sparseopt_ml::TreeParams;
+use sparseopt_sim::Platform;
+use std::sync::Arc;
+
+const LLC: usize = 32 * 1024 * 1024;
+
+fn labeled_corpus() -> Vec<LabeledMatrix> {
+    let mut out = Vec::new();
+    for k in 0..12 {
+        let n = 1000 + 300 * k;
+        for (name, m, classes) in [
+            (
+                "band",
+                CsrMatrix::from_coo(&g::banded(n, 1 + k % 4)),
+                ClassSet::from_classes(&[Bottleneck::Mb]),
+            ),
+            (
+                "rand",
+                CsrMatrix::from_coo(&g::random_uniform(n, 6, k as u64)),
+                ClassSet::from_classes(&[Bottleneck::Ml]),
+            ),
+            (
+                "skew",
+                CsrMatrix::from_coo(&g::few_dense_rows(n, 2, 2, k as u64)),
+                ClassSet::from_classes(&[Bottleneck::Imb, Bottleneck::Cmp]),
+            ),
+        ] {
+            out.push(LabeledMatrix {
+                name: format!("{name}{k}"),
+                features: MatrixFeatures::extract(&m, LLC),
+                classes,
+            });
+        }
+    }
+    out
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let samples = labeled_corpus();
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(20);
+
+    group.bench_function("tree-train-36", |b| {
+        b.iter(|| {
+            FeatureGuidedClassifier::train(
+                &samples,
+                FeatureSet::LinearInNnz,
+                TreeParams::default(),
+            )
+        })
+    });
+
+    let clf =
+        FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+    let probe = &samples[0].features;
+    group.bench_function("tree-query", |b| b.iter(|| clf.classify(probe)));
+
+    let bounds = PerClassBounds {
+        p_csr: 4.0,
+        p_mb: 11.0,
+        p_ml: 8.0,
+        p_imb: 5.0,
+        p_cmp: 15.0,
+        p_peak: 20.0,
+    };
+    let pgc = ProfileGuidedClassifier::new();
+    group.bench_function("profile-rules", |b| b.iter(|| pgc.classify(&bounds)));
+
+    let csr = Arc::new(CsrMatrix::from_coo(&g::poisson3d(12, 12, 12)));
+    let profiler = SimBoundsProfiler::new(Platform::knc());
+    group.bench_function("sim-bounds-measure", |b| b.iter(|| profiler.measure(&csr)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

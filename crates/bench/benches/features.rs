@@ -1,0 +1,40 @@
+//! Criterion benchmarks of Table I feature extraction — the feature-guided
+//! classifier's entire online cost (paper §IV-D: the extraction pass is what
+//! makes it "extremely lightweight"). Compares against one SpMV execution
+//! on the same matrix for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::{generators as g, MatrixFeatures};
+use std::sync::Arc;
+
+const LLC: usize = 32 * 1024 * 1024;
+
+fn bench_features(c: &mut Criterion) {
+    let cases = vec![
+        ("poisson3d-20", CsrMatrix::from_coo(&g::poisson3d(20, 20, 20))),
+        ("powerlaw-16k", CsrMatrix::from_coo(&g::power_law(16384, 8, 1.0, 3))),
+    ];
+
+    for (name, csr) in cases {
+        let csr = Arc::new(csr);
+        let mut group = c.benchmark_group(format!("features/{name}"));
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.sample_size(20);
+
+        group.bench_function("extract-all", |b| {
+            b.iter(|| MatrixFeatures::extract(&csr, LLC))
+        });
+
+        // One SpMV for cost comparison (feature pass should be of the same
+        // order, not multiples).
+        let kernel = SerialCsr::new(csr.clone());
+        let x = vec![1.0; csr.ncols()];
+        let mut y = vec![0.0; csr.nrows()];
+        group.bench_function("one-spmv", |b| b.iter(|| kernel.spmv(&x, &mut y)));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmarks of format construction/conversion costs — the
+//! preprocessing the paper's lightweight-overhead argument hinges on
+//! (delta compression and decomposition must cost only a few SpMV-times).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::generators as g;
+
+fn bench_formats(c: &mut Criterion) {
+    let coo = g::poisson3d(20, 20, 20);
+    let csr = CsrMatrix::from_coo(&coo);
+    let skewed = CsrMatrix::from_coo(&g::few_dense_rows(8192, 2, 3, 7));
+
+    let mut group = c.benchmark_group("formats");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.sample_size(20);
+
+    group.bench_function("coo-to-csr", |b| b.iter(|| CsrMatrix::from_coo(&coo)));
+    group.bench_function("delta-encode", |b| b.iter(|| DeltaCsrMatrix::from_csr(&csr)));
+    group.bench_function("delta-encode-u16", |b| {
+        b.iter(|| DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U16))
+    });
+    group.bench_function("decompose", |b| {
+        let t = DecomposedCsrMatrix::auto_threshold(&skewed, 4.0);
+        b.iter(|| DecomposedCsrMatrix::from_csr(&skewed, t))
+    });
+    group.bench_function("csr-to-coo", |b| b.iter(|| csr.to_coo()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Ablation studies for the design choices DESIGN.md calls out, on the KNC
+//! model:
+//!
+//! 1. **Delta width** — u8 vs u16 vs the auto rule (footprint + modeled
+//!    speed) on regular/irregular matrices;
+//! 2. **Decomposition threshold** — sweep of the long-row cutoff factor on a
+//!    skewed matrix;
+//! 3. **Dynamic chunk size** — scheduling-overhead/balance trade-off;
+//! 4. **Classifier thresholds** — adaptive speedup as `T_ML`/`T_IMB` move
+//!    off the paper's tuned values;
+//! 5. **Format shoot-out** — CSR vs ELL vs BCSR footprints on structurally
+//!    different matrices (why the paper builds on CSR).
+//!
+//! Usage: `cargo run --release -p sparseopt-bench --bin ablation`
+
+use sparseopt_bench::report::Table;
+use sparseopt_classifier::{ProfileGuidedClassifier, ProfileThresholds};
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::{generators as g, MatrixFeatures};
+use sparseopt_optimizer::{OptimizationPlan, SimOptimizerStudy};
+use sparseopt_sim::{simulate, Platform, SimFormat, SimKernelConfig, SimMatrixProfile};
+
+fn main() {
+    let knc = Platform::knc();
+
+    // ---- 1. Delta width ---------------------------------------------------
+    println!("== Ablation 1: delta compression width (KNC model) ==\n");
+    let mut t = Table::new(vec!["matrix", "width", "index bytes/nnz", "exceptions", "GF/s"]);
+    for (name, csr) in [
+        ("banded-150k-b12", CsrMatrix::from_coo(&g::banded(150_000, 12))),
+        ("random-40k-d8", CsrMatrix::from_coo(&g::random_uniform(40_000, 8, 1))),
+    ] {
+        let profile = SimMatrixProfile::analyze(&csr, &knc);
+        for (label, delta) in [
+            ("u8", DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U8)),
+            ("u16", DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U16)),
+            ("auto", DeltaCsrMatrix::from_csr(&csr)),
+        ] {
+            let mut p = profile.clone();
+            p.delta_index_bytes_per_nnz = delta.index_compression_ratio() * 4.0;
+            let cfg = SimKernelConfig {
+                format: SimFormat::DeltaCsr,
+                inner: InnerLoop::Simd,
+                ..SimKernelConfig::baseline()
+            };
+            let r = simulate(&p, &knc, &cfg);
+            t.row(vec![
+                name.to_string(),
+                format!("{label} ({:?})", delta.width()),
+                format!("{:.2}", delta.index_compression_ratio() * 4.0),
+                delta.exception_count().to_string(),
+                format!("{:.2}", r.gflops),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    // ---- 2. Decomposition threshold ----------------------------------------
+    println!("\n== Ablation 2: long-row threshold factor (skewed matrix, KNC model) ==\n");
+    let skew = CsrMatrix::from_coo(&g::few_dense_rows(20_000, 2, 4, 3));
+    let profile = SimMatrixProfile::analyze(&skew, &knc);
+    let base = simulate(&profile, &knc, &SimKernelConfig::baseline()).gflops;
+    let mut t = Table::new(vec!["threshold factor", "threshold nnz", "long rows", "GF/s", "speedup"]);
+    for factor in [1.5f64, 2.0, 4.0, 8.0, 16.0, 64.0] {
+        let threshold = DecomposedCsrMatrix::auto_threshold(&skew, factor);
+        let dec = DecomposedCsrMatrix::from_csr(&skew, threshold);
+        let cfg = SimKernelConfig {
+            format: SimFormat::Decomposed { threshold },
+            ..SimKernelConfig::baseline()
+        };
+        let r = simulate(&profile, &knc, &cfg);
+        t.row(vec![
+            format!("{factor:.1}"),
+            threshold.to_string(),
+            dec.long_rows().len().to_string(),
+            format!("{:.2}", r.gflops),
+            format!("{:.2}x", r.gflops / base),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // ---- 3. Dynamic chunk size ----------------------------------------------
+    println!("\n== Ablation 3: dynamic-schedule chunk size (skewed matrix, KNC model) ==\n");
+    let mut t = Table::new(vec!["chunk", "GF/s", "vs baseline"]);
+    for chunk in [1usize, 4, 16, 64, 256, 1024, 4096] {
+        let cfg = SimKernelConfig {
+            schedule: Schedule::Dynamic { chunk },
+            ..SimKernelConfig::baseline()
+        };
+        let r = simulate(&profile, &knc, &cfg);
+        t.row(vec![
+            chunk.to_string(),
+            format!("{:.2}", r.gflops),
+            format!("{:.2}x", r.gflops / base),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // ---- 4. Classifier thresholds --------------------------------------------
+    println!("\n== Ablation 4: profile-guided thresholds vs adaptive speedup (KNC model) ==\n");
+    let matrices: Vec<CsrMatrix> = vec![
+        CsrMatrix::from_coo(&g::banded(60_000, 6)),
+        CsrMatrix::from_coo(&g::random_uniform(20_000, 8, 2)),
+        CsrMatrix::from_coo(&g::few_dense_rows(20_000, 2, 4, 4)),
+        CsrMatrix::from_coo(&g::poisson3d(24, 24, 24)),
+        CsrMatrix::from_coo(&g::power_law(20_000, 6, 0.9, 5)),
+    ];
+    let study = SimOptimizerStudy::new(knc.clone());
+    let mut t = Table::new(vec!["T_ML", "T_IMB", "mean speedup over baseline"]);
+    for (t_ml, t_imb) in [(1.0, 1.0), (1.1, 1.1), (1.25, 1.24), (1.5, 1.5), (2.5, 2.5)] {
+        let clf = ProfileGuidedClassifier::with_thresholds(ProfileThresholds {
+            t_ml,
+            t_imb,
+            ..Default::default()
+        });
+        let mut sum = 0.0;
+        for csr in &matrices {
+            let prof = study.profiler().profile(csr);
+            let bounds = study.profiler().measure_profile(&prof);
+            let features = MatrixFeatures::extract(csr, knc.total_cache_bytes());
+            let plan = OptimizationPlan::from_classes(clf.classify(&bounds), &features);
+            let g = if plan.is_noop() { bounds.p_csr } else { study.plan_gflops(&prof, &plan) };
+            sum += g / bounds.p_csr;
+        }
+        t.row(vec![
+            format!("{t_ml:.2}"),
+            format!("{t_imb:.2}"),
+            format!("{:.3}x", sum / matrices.len() as f64),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(the paper's grid search landed on T_ML = 1.25, T_IMB = 1.24)");
+
+    // ---- 5. Format shoot-out ---------------------------------------------------
+    println!("\n== Ablation 5: storage footprint per format (bytes/nnz) ==\n");
+    let mut t = Table::new(vec!["matrix", "CSR", "delta-CSR", "ELL", "BCSR 4x4", "BCSR fill"]);
+    for (name, csr) in [
+        ("banded", CsrMatrix::from_coo(&g::banded(20_000, 4))),
+        ("blocked-fem", CsrMatrix::from_coo(&g::blocked_fem(500, 4, 4, 9))),
+        ("power-law", CsrMatrix::from_coo(&g::power_law(10_000, 6, 1.0, 10))),
+        ("few-dense-rows", CsrMatrix::from_coo(&g::few_dense_rows(10_000, 2, 3, 11))),
+    ] {
+        let nnz = csr.nnz() as f64;
+        let delta = DeltaCsrMatrix::from_csr(&csr);
+        let ell = EllMatrix::from_csr(&csr);
+        let bcsr = BcsrMatrix::from_csr(&csr, 4, 4);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", csr.footprint_bytes() as f64 / nnz),
+            format!("{:.1}", delta.footprint_bytes() as f64 / nnz),
+            format!("{:.1}", ell.footprint_bytes() as f64 / nnz),
+            format!("{:.1}", bcsr.footprint_bytes() as f64 / nnz),
+            format!("{:.2}", bcsr.fill_ratio()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "(ELL explodes on skew; BCSR pays fill off the FEM block structure —\n\
+         the paper's CSR-based pool avoids both failure modes.)"
+    );
+}

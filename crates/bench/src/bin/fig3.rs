@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 3** of the paper: "SpMV performance using the CSR
+//! format and per-class upper bounds on Intel Xeon Phi (KNC)".
+//!
+//! For every suite matrix: the modeled baseline `P_CSR` plus the bounds
+//! `P_peak`, `P_ML`, `P_IMB`, `P_CMP`, `P_MB` of Section III-B. The spread
+//! between baseline and the individual bounds exposes the bottleneck
+//! diversity the paper's optimizer exploits.
+//!
+//! Usage: `cargo run --release -p sparseopt-bench --bin fig3 [--csv] [--platform knc|knl|bdw]`
+
+use sparseopt_bench::report::{gf, Table};
+use sparseopt_classifier::{ProfileGuidedClassifier, SimBoundsProfiler};
+use sparseopt_sim::Platform;
+
+fn platform_from_args() -> Platform {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--platform") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("knl") => Platform::knl(),
+            Some("bdw") | Some("broadwell") => Platform::broadwell(),
+            _ => Platform::knc(),
+        },
+        None => Platform::knc(),
+    }
+}
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let platform = platform_from_args();
+    let profiler = SimBoundsProfiler::new(platform.clone());
+    let classifier = ProfileGuidedClassifier::new();
+    let suite = sparseopt_matrix::paper_suite();
+
+    let mut table = Table::new(vec![
+        "matrix", "CSR", "Peak", "ML", "IMB", "CMP", "MB", "classes",
+    ]);
+    for m in &suite {
+        let b = profiler.measure_scaled(&m.csr, m.scale, m.locality_scale());
+        let classes = classifier.classify(&b);
+        table.row(vec![
+            m.name.to_string(),
+            gf(b.p_csr),
+            gf(b.p_peak),
+            gf(b.p_ml),
+            gf(b.p_imb),
+            gf(b.p_cmp),
+            gf(b.p_mb),
+            classes.to_string(),
+        ]);
+    }
+
+    println!(
+        "== Fig. 3: baseline CSR performance and per-class upper bounds ({} model, Gflop/s) ==\n",
+        platform.name
+    );
+    if csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    println!(
+        "\nReading guide (paper §III-C): P_CSR ≈ P_ML ⇒ no latency problem; \
+         P_ML >> P_CSR and/or P_IMB >> P_CSR ⇒ ML/IMB classes; \
+         P_CMP < P_MB ⇒ compute-limited (CMP); P_CMP > P_peak ⇒ cache-resident CMP."
+    );
+}

@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 7** of the paper: "SpMV performance landscape on each
+//! experimental platform" — MKL, MKL Inspector-Executor, baseline, oracle,
+//! and the profile-/feature-guided optimizers for every suite matrix on
+//! KNC (7a), KNL (7b), and Broadwell (7c), annotated with each matrix's
+//! detected classes.
+//!
+//! The feature-guided classifier is trained on the 210-matrix training sweep
+//! labeled on the same platform, exactly as in Section III-D.
+//!
+//! Usage: `cargo run --release -p sparseopt-bench --bin fig7 [--csv] [--platform knc|knl|bdw]`
+
+use sparseopt_bench::report::{gf, Table};
+use sparseopt_bench::train_feature_classifier;
+use sparseopt_matrix::{FeatureSet, MatrixFeatures};
+use sparseopt_ml::TreeParams;
+use sparseopt_optimizer::SimOptimizerStudy;
+use sparseopt_sim::Platform;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let only: Option<&str> = args
+        .iter()
+        .position(|a| a == "--platform")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+
+    let platforms: Vec<Platform> = Platform::paper_platforms()
+        .into_iter()
+        .filter(|p| match only {
+            None => true,
+            Some("knc") => p.name == "KNC",
+            Some("knl") => p.name == "KNL",
+            Some(_) => p.name == "Broadwell",
+        })
+        .collect();
+
+    let suite = sparseopt_matrix::paper_suite();
+
+    for platform in platforms {
+        // KNC predates the Inspector-Executor API (paper: "MKL
+        // Inspector-Executor is not available on KNC").
+        let has_ie = platform.name != "KNC";
+        eprintln!("[fig7] training feature-guided classifier on {} ...", platform.name);
+        let clf = train_feature_classifier(
+            &platform,
+            FeatureSet::LinearInNnz,
+            TreeParams::default(),
+        );
+        let study = SimOptimizerStudy::new(platform.clone());
+        let llc = platform.total_cache_bytes();
+
+        let mut table = Table::new(vec![
+            "matrix", "MKL", "MKL-IE", "baseline", "oracle", "prof", "feat", "classes(prof)",
+        ]);
+        let (mut s_prof, mut s_feat, mut s_ie, mut n) = (0.0f64, 0.0f64, 0.0f64, 0usize);
+        for m in &suite {
+            let eff_llc = ((llc as f64 / m.scale) as usize).max(1);
+            let features = MatrixFeatures::extract(&m.csr, eff_llc);
+            let e = study.evaluate_scaled(&m.csr, &features, m.scale, m.locality_scale(), Some(&clf));
+            let feat = e.feat.unwrap_or(e.baseline);
+            s_prof += e.prof / e.mkl;
+            s_feat += feat / e.mkl;
+            s_ie += e.mkl_ie / e.mkl;
+            n += 1;
+            table.row(vec![
+                m.name.to_string(),
+                gf(e.mkl),
+                if has_ie { gf(e.mkl_ie) } else { "-".into() },
+                gf(e.baseline),
+                gf(e.oracle),
+                gf(e.prof),
+                gf(feat),
+                e.classes_profile.to_string(),
+            ]);
+        }
+
+        println!(
+            "\n== Fig. 7 ({}): SpMV performance landscape (modeled Gflop/s) ==\n",
+            platform.name
+        );
+        if csv {
+            print!("{}", table.render_csv());
+        } else {
+            print!("{}", table.render());
+        }
+        let nf = n as f64;
+        print!(
+            "\naverage speedup over MKL CSR: prof {:.2}x, feat {:.2}x",
+            s_prof / nf,
+            s_feat / nf
+        );
+        if has_ie {
+            print!(", MKL Inspector-Executor {:.2}x", s_ie / nf);
+        }
+        println!(
+            "\n(paper: KNC 2.72x/2.63x; KNL 6.73x/6.48x with IE 4.89x; Broadwell 2.02x/1.86x with IE 1.49x)"
+        );
+    }
+}

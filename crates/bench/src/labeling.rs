@@ -1,0 +1,92 @@
+//! Shared labeling pipeline: run the profile-guided classifier (on a modeled
+//! platform) over a matrix suite, producing the labeled samples that train
+//! and evaluate the feature-guided classifier (paper Section III-D3:
+//! "we use our profile-guided classifier for this purpose").
+
+use rayon::prelude::*;
+use sparseopt_classifier::{
+    ClassSet, FeatureGuidedClassifier, LabeledMatrix, PerClassBounds, ProfileGuidedClassifier,
+    SimBoundsProfiler,
+};
+use sparseopt_matrix::{FeatureSet, MatrixFeatures, SuiteMatrix};
+use sparseopt_ml::TreeParams;
+use sparseopt_sim::Platform;
+
+/// A suite matrix together with everything the harnesses need: features,
+/// bounds, and profile-guided classes.
+pub struct LabeledSuiteMatrix {
+    /// The matrix and its provenance.
+    pub matrix: SuiteMatrix,
+    /// Table I features (LLC sized for the platform).
+    pub features: MatrixFeatures,
+    /// Per-class bounds on the platform.
+    pub bounds: PerClassBounds,
+    /// Profile-guided classes.
+    pub classes: ClassSet,
+}
+
+impl LabeledSuiteMatrix {
+    /// Converts to the classifier-crate training sample type.
+    pub fn to_labeled(&self) -> LabeledMatrix {
+        LabeledMatrix {
+            name: self.matrix.name.to_string(),
+            features: self.features.clone(),
+            classes: self.classes,
+        }
+    }
+}
+
+/// Labels every matrix of `suite` on `platform` with the profile-guided
+/// classifier (parallelized across matrices).
+pub fn label_suite(suite: Vec<SuiteMatrix>, platform: &Platform) -> Vec<LabeledSuiteMatrix> {
+    let profiler = SimBoundsProfiler::new(platform.clone());
+    let classifier = ProfileGuidedClassifier::new();
+    let llc = platform.total_cache_bytes();
+    suite
+        .into_par_iter()
+        .map(|m| {
+            // The `size` feature and the bounds both see the UF original's
+            // scale: caches shrink by `m.scale` relative to the stand-in.
+            let eff_llc = ((llc as f64 / m.scale) as usize).max(1);
+            let features = MatrixFeatures::extract(&m.csr, eff_llc);
+            let bounds = profiler.measure_scaled(&m.csr, m.scale, m.locality_scale());
+            let classes = classifier.classify(&bounds);
+            LabeledSuiteMatrix { matrix: m, features, bounds, classes }
+        })
+        .collect()
+}
+
+/// Trains the feature-guided classifier on the 210-matrix training sweep,
+/// labeled by the profile-guided classifier on `platform`.
+pub fn train_feature_classifier(
+    platform: &Platform,
+    set: FeatureSet,
+    params: TreeParams,
+) -> FeatureGuidedClassifier {
+    let labeled = label_suite(sparseopt_matrix::training_suite(), platform);
+    let samples: Vec<LabeledMatrix> = labeled.iter().map(|l| l.to_labeled()).collect();
+    FeatureGuidedClassifier::train(&samples, set, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_small_suite_with_diverse_classes() {
+        // A handful of named matrices spanning categories.
+        let names = ["poisson3Db", "rajat30", "SiO2", "small-dense"];
+        let suite: Vec<SuiteMatrix> =
+            names.iter().map(|n| sparseopt_matrix::by_name(n).expect("known")).collect();
+        let labeled = label_suite(suite, &Platform::knc());
+        assert_eq!(labeled.len(), 4);
+        // The circuit matrix (rajat30 stand-in) must be flagged imbalanced.
+        let rajat = labeled.iter().find(|l| l.matrix.name == "rajat30").unwrap();
+        assert!(
+            rajat.classes.contains(sparseopt_classifier::Bottleneck::Imb)
+                || rajat.classes.contains(sparseopt_classifier::Bottleneck::Cmp),
+            "rajat30 classes: {}",
+            rajat.classes
+        );
+    }
+}

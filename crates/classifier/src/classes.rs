@@ -1,0 +1,190 @@
+//! The four SpMV bottleneck classes of the paper (Section III-A) and compact
+//! class sets.
+
+use std::fmt;
+
+/// A performance bottleneck class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Bottleneck {
+    /// Memory **B**andwidth bound: bandwidth utilization near the peak;
+    /// usually a regular sparsity structure.
+    Mb,
+    /// **M**emory **L**atency bound: poor locality in `x` accesses that
+    /// hardware prefetchers cannot detect.
+    Ml,
+    /// Thread **IMB**alance: highly uneven row lengths or regions with
+    /// different sparsity patterns.
+    Imb,
+    /// **C**o**MP**utational bottleneck: cache-resident working sets near the
+    /// roofline ridge, or nonzeros concentrated in a few dense rows.
+    Cmp,
+}
+
+impl Bottleneck {
+    /// All classes in display order.
+    pub const ALL: [Bottleneck; 4] = [Bottleneck::Mb, Bottleneck::Ml, Bottleneck::Imb, Bottleneck::Cmp];
+
+    /// The paper's label for the class.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bottleneck::Mb => "MB",
+            Bottleneck::Ml => "ML",
+            Bottleneck::Imb => "IMB",
+            Bottleneck::Cmp => "CMP",
+        }
+    }
+
+    /// Index in [0, 4) for dense tables.
+    pub fn index(self) -> usize {
+        match self {
+            Bottleneck::Mb => 0,
+            Bottleneck::Ml => 1,
+            Bottleneck::Imb => 2,
+            Bottleneck::Cmp => 3,
+        }
+    }
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A set of bottleneck classes (the multilabel classification target).
+/// The empty set is the paper's "not worth optimizing" dummy class.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ClassSet(u8);
+
+impl ClassSet {
+    /// The empty set.
+    pub const EMPTY: ClassSet = ClassSet(0);
+
+    /// Builds a set from classes.
+    pub fn from_classes(classes: &[Bottleneck]) -> Self {
+        let mut s = ClassSet::EMPTY;
+        for &c in classes {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Inserts a class.
+    pub fn insert(&mut self, c: Bottleneck) {
+        self.0 |= 1 << c.index();
+    }
+
+    /// Removes a class.
+    pub fn remove(&mut self, c: Bottleneck) {
+        self.0 &= !(1 << c.index());
+    }
+
+    /// Membership test.
+    pub fn contains(self, c: Bottleneck) -> bool {
+        self.0 & (1 << c.index()) != 0
+    }
+
+    /// True when no class is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of classes present.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates members in display order.
+    pub fn iter(self) -> impl Iterator<Item = Bottleneck> {
+        Bottleneck::ALL.into_iter().filter(move |&c| self.contains(c))
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: ClassSet) -> ClassSet {
+        ClassSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: ClassSet) -> ClassSet {
+        ClassSet(self.0 | other.0)
+    }
+
+    /// Encodes as a 4-slot boolean vector `[MB, ML, IMB, CMP]` for the ML
+    /// dataset (the dummy "none" label is appended by the feature classifier).
+    pub fn to_labels(self) -> Vec<bool> {
+        Bottleneck::ALL.iter().map(|&c| self.contains(c)).collect()
+    }
+
+    /// Decodes from the 4-slot boolean vector.
+    pub fn from_labels(labels: &[bool]) -> Self {
+        let mut s = ClassSet::EMPTY;
+        for (k, &b) in labels.iter().take(4).enumerate() {
+            if b {
+                s.insert(Bottleneck::ALL[k]);
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for ClassSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("{}");
+        }
+        let parts: Vec<&str> = self.iter().map(|c| c.label()).collect();
+        write!(f, "{{{}}}", parts.join(","))
+    }
+}
+
+impl fmt::Debug for ClassSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClassSet({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ClassSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Bottleneck::Ml);
+        s.insert(Bottleneck::Imb);
+        assert!(s.contains(Bottleneck::Ml));
+        assert!(!s.contains(Bottleneck::Mb));
+        assert_eq!(s.len(), 2);
+        s.remove(Bottleneck::Ml);
+        assert!(!s.contains(Bottleneck::Ml));
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        let s = ClassSet::from_classes(&[Bottleneck::Imb, Bottleneck::Ml]);
+        assert_eq!(s.to_string(), "{ML,IMB}");
+        assert_eq!(ClassSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn label_round_trip() {
+        for combo in 0..16u8 {
+            let mut s = ClassSet::EMPTY;
+            for (k, c) in Bottleneck::ALL.iter().enumerate() {
+                if combo & (1 << k) != 0 {
+                    s.insert(*c);
+                }
+            }
+            assert_eq!(ClassSet::from_labels(&s.to_labels()), s);
+        }
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ClassSet::from_classes(&[Bottleneck::Mb, Bottleneck::Ml]);
+        let b = ClassSet::from_classes(&[Bottleneck::Ml, Bottleneck::Cmp]);
+        assert_eq!(a.intersection(b).to_string(), "{ML}");
+        assert_eq!(a.union(b).len(), 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! # sparseopt-classifier
+//!
+//! The paper's core contribution: SpMV bottleneck detection formulated as a
+//! multiclass, multilabel classification problem (Section III).
+//!
+//! - [`classes`] — the MB / ML / IMB / CMP bottleneck classes.
+//! - [`bounds`] — per-class performance upper bounds (Section III-B), from
+//!   either host micro-benchmarks or the modeled Table III platforms.
+//! - [`profile_guided`] — the rule-based classifier of Fig. 4.
+//! - [`feature_guided`] — the offline-trained decision-tree classifier of
+//!   Section III-D.
+
+pub mod bounds;
+pub mod classes;
+pub mod feature_guided;
+pub mod profile_guided;
+
+pub use bounds::{BoundsProfiler, HostBoundsProfiler, PerClassBounds, SimBoundsProfiler};
+pub use classes::{Bottleneck, ClassSet};
+pub use feature_guided::{build_dataset, FeatureGuidedClassifier, LabeledMatrix};
+pub use profile_guided::{ProfileGuidedClassifier, ProfileThresholds};

@@ -1,0 +1,177 @@
+//! The profile-guided classifier — Fig. 4 of the paper.
+//!
+//! ```text
+//! procedure CLASSIFY(P_CSR, P_MB, P_ML, P_IMB, P_CMP, P_peak)
+//!   class ← Ø
+//!   if P_IMB / P_CSR > T_IMB        then class ← class ∪ {IMB}
+//!   if P_ML  / P_CSR > T_ML         then class ← class ∪ {ML}
+//!   if P_CSR ≈ P_MB and P_MB < P_CMP < P_peak then class ← class ∪ {MB}
+//!   if P_MB > P_CMP or P_CMP > P_peak          then class ← class ∪ {CMP}
+//!   return class
+//! ```
+//!
+//! `T_ML = 1.25` and `T_IMB = 1.24` are the paper's grid-searched values.
+//! The `≈` tolerance is an additional hyperparameter (`t_mb`) the paper
+//! leaves implicit; it is tunable through the same grid-search hook.
+
+use crate::bounds::PerClassBounds;
+use crate::classes::{Bottleneck, ClassSet};
+
+/// Hyperparameters of the Fig. 4 rules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileThresholds {
+    /// `T_ML`: required headroom of `P_ML` over `P_CSR`.
+    pub t_ml: f64,
+    /// `T_IMB`: required headroom of `P_IMB` over `P_CSR`.
+    pub t_imb: f64,
+    /// Tolerance for `P_CSR ≈ P_MB`: satisfied when `P_CSR ≥ t_mb · P_MB`.
+    pub t_mb: f64,
+}
+
+impl Default for ProfileThresholds {
+    /// The paper's tuned values (Fig. 4 caption).
+    fn default() -> Self {
+        Self { t_ml: 1.25, t_imb: 1.24, t_mb: 0.7 }
+    }
+}
+
+/// The profile-guided classifier.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProfileGuidedClassifier {
+    thresholds: ProfileThresholds,
+}
+
+impl ProfileGuidedClassifier {
+    /// Classifier with the paper's tuned thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifier with explicit thresholds (grid-search tuning).
+    pub fn with_thresholds(thresholds: ProfileThresholds) -> Self {
+        Self { thresholds }
+    }
+
+    /// Current thresholds.
+    pub fn thresholds(&self) -> ProfileThresholds {
+        self.thresholds
+    }
+
+    /// Fig. 4's CLASSIFY procedure.
+    pub fn classify(&self, b: &PerClassBounds) -> ClassSet {
+        let t = self.thresholds;
+        let mut class = ClassSet::EMPTY;
+        let p_csr = b.p_csr.max(1e-12);
+
+        if b.p_imb / p_csr > t.t_imb {
+            class.insert(Bottleneck::Imb);
+        }
+        if b.p_ml / p_csr > t.t_ml {
+            class.insert(Bottleneck::Ml);
+        }
+        // MB: the baseline already sits *at* the bandwidth roof (two-sided ≈:
+        // a baseline sitting clearly above the roof means bandwidth is not
+        // the binding constraint, e.g. cache-resident working sets) and the
+        // roof is real (compute headroom exists up to the peak).
+        if b.p_csr >= t.t_mb * b.p_mb
+            && b.p_csr <= 1.05 * b.p_mb
+            && b.p_mb < b.p_cmp
+            && b.p_cmp < b.p_peak
+        {
+            class.insert(Bottleneck::Mb);
+        }
+        // CMP: the compute bound sits below the bandwidth roof (the kernel is
+        // not memory bound at all), or above the theoretical peak
+        // (cache-resident working set, Section III-C's last case).
+        if b.p_mb > b.p_cmp || b.p_cmp > b.p_peak {
+            class.insert(Bottleneck::Cmp);
+        }
+        class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(p_csr: f64, p_mb: f64, p_ml: f64, p_imb: f64, p_cmp: f64, p_peak: f64) -> PerClassBounds {
+        PerClassBounds { p_csr, p_mb, p_ml, p_imb, p_cmp, p_peak }
+    }
+
+    #[test]
+    fn balanced_regular_matrix_is_mb() {
+        // At the roof, no ML/IMB headroom, compute headroom to the peak.
+        let b = bounds(10.0, 11.0, 10.5, 10.2, 15.0, 20.0);
+        let c = ProfileGuidedClassifier::new().classify(&b);
+        assert_eq!(c.to_string(), "{MB}");
+    }
+
+    #[test]
+    fn irregular_matrix_is_ml() {
+        let b = bounds(4.0, 11.0, 8.0, 4.3, 15.0, 20.0);
+        let c = ProfileGuidedClassifier::new().classify(&b);
+        assert!(c.contains(Bottleneck::Ml));
+        assert!(!c.contains(Bottleneck::Imb));
+        assert!(!c.contains(Bottleneck::Mb), "far from the roof");
+    }
+
+    #[test]
+    fn skewed_matrix_is_imb() {
+        let b = bounds(4.0, 11.0, 4.5, 9.0, 15.0, 20.0);
+        let c = ProfileGuidedClassifier::new().classify(&b);
+        assert_eq!(c.to_string(), "{IMB}");
+    }
+
+    #[test]
+    fn dense_row_matrix_is_cmp_when_compute_roof_below_mb() {
+        // P_CMP < P_MB: eliminating indirection still cannot reach the
+        // bandwidth roof ⇒ compute limited (paper's Eq. 1 argument).
+        let b = bounds(3.0, 11.0, 3.2, 3.1, 7.0, 20.0);
+        let c = ProfileGuidedClassifier::new().classify(&b);
+        assert!(c.contains(Bottleneck::Cmp));
+    }
+
+    #[test]
+    fn cache_resident_matrix_is_cmp_when_above_peak() {
+        // P_CMP > P_peak: the cache-resident case.
+        let b = bounds(12.0, 11.0, 12.5, 12.2, 25.0, 20.0);
+        let c = ProfileGuidedClassifier::new().classify(&b);
+        assert!(c.contains(Bottleneck::Cmp));
+    }
+
+    #[test]
+    fn combined_ml_imb() {
+        let b = bounds(2.0, 11.0, 3.0, 3.5, 15.0, 20.0);
+        let c = ProfileGuidedClassifier::new().classify(&b);
+        assert_eq!(c.to_string(), "{ML,IMB}");
+    }
+
+    #[test]
+    fn unclassified_matrix_possible() {
+        // "it is possible for a matrix not to be classified" — moderate
+        // everything: below roof, no headroom anywhere, compute roof between
+        // MB and peak.
+        let b = bounds(7.0, 11.0, 7.5, 7.3, 14.0, 20.0);
+        let c = ProfileGuidedClassifier::new().classify(&b);
+        assert!(c.is_empty(), "got {c}");
+    }
+
+    #[test]
+    fn thresholds_move_decisions() {
+        let b = bounds(4.0, 11.0, 5.2, 4.3, 15.0, 20.0);
+        // 5.2/4.0 = 1.3: ML at default threshold 1.25, not at 1.4.
+        assert!(ProfileGuidedClassifier::new().classify(&b).contains(Bottleneck::Ml));
+        let strict = ProfileGuidedClassifier::with_thresholds(ProfileThresholds {
+            t_ml: 1.4,
+            ..Default::default()
+        });
+        assert!(!strict.classify(&b).contains(Bottleneck::Ml));
+    }
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let t = ProfileThresholds::default();
+        assert_eq!(t.t_ml, 1.25);
+        assert_eq!(t.t_imb, 1.24);
+    }
+}

@@ -1,0 +1,259 @@
+//! Coordinate-format (COO) sparse matrix used as the construction interchange
+//! format.
+//!
+//! All generators and I/O routines produce a [`CooMatrix`]; compute formats
+//! (CSR and its derivatives) are built from it. Triplets may be pushed in any
+//! order; duplicates are summed on conversion, matching the usual Matrix
+//! Market semantics.
+
+use std::fmt;
+
+/// A sparse matrix stored as unordered `(row, col, value)` triplets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension exceeds `u32::MAX`, the maximum the
+    /// compressed formats can index.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "matrix dimensions must fit in u32 indices"
+        );
+        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates a matrix with capacity reserved for `nnz` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        let mut m = Self::new(nrows, ncols);
+        m.rows.reserve(nnz);
+        m.cols.reserve(nnz);
+        m.vals.reserve(nnz);
+        m
+    }
+
+    /// Builds a matrix directly from triplet arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays have different lengths or any index is out of
+    /// bounds.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len(), "triplet arrays must have equal length");
+        assert_eq!(rows.len(), vals.len(), "triplet arrays must have equal length");
+        for (&r, &c) in rows.iter().zip(&cols) {
+            assert!((r as usize) < nrows, "row index {r} out of bounds ({nrows} rows)");
+            assert!((c as usize) < ncols, "col index {c} out of bounds ({ncols} cols)");
+        }
+        Self { nrows, ncols, rows, cols, vals }
+    }
+
+    /// Appends one entry. Duplicates are allowed and summed on conversion.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols, "entry ({row},{col}) out of bounds");
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (including duplicates, if any).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterates over stored triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Raw triplet views `(rows, cols, vals)`.
+    pub fn triplets(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+
+    /// Transposes the matrix (swaps row/column indices).
+    pub fn transpose(&self) -> CooMatrix {
+        CooMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Returns the symmetric expansion `A + Aᵀ` restricted to structure: every
+    /// off-diagonal entry `(i, j)` gains a mirrored `(j, i)` with the same
+    /// value. Useful for turning generator output into structurally symmetric
+    /// matrices (e.g. for CG test problems).
+    pub fn symmetrize(&self) -> CooMatrix {
+        assert_eq!(self.nrows, self.ncols, "symmetrize requires a square matrix");
+        let mut out = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz() * 2);
+        for (r, c, v) in self.iter() {
+            out.push(r, c, v);
+            if r != c {
+                out.push(c, r, v);
+            }
+        }
+        out
+    }
+
+    /// Merges another matrix of identical shape into this one (entry union,
+    /// duplicates summed on conversion).
+    pub fn extend_from(&mut self, other: &CooMatrix) {
+        assert_eq!(self.nrows, other.nrows, "shape mismatch");
+        assert_eq!(self.ncols, other.ncols, "shape mismatch");
+        self.rows.extend_from_slice(&other.rows);
+        self.cols.extend_from_slice(&other.cols);
+        self.vals.extend_from_slice(&other.vals);
+    }
+
+    /// Sorts triplets by `(row, col)` and sums duplicates in place.
+    pub fn sort_and_dedup(&mut self) {
+        let n = self.nnz();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&k| (self.rows[k], self.cols[k]));
+
+        let mut rows = Vec::with_capacity(n);
+        let mut cols = Vec::with_capacity(n);
+        let mut vals = Vec::with_capacity(n);
+        for k in order {
+            let (r, c, v) = (self.rows[k], self.cols[k], self.vals[k]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("vals tracks rows/cols") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Dense `y = A·x` reference product, used as the ground truth in tests.
+    pub fn spmv_dense_reference(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert_eq!(y.len(), self.nrows, "y length mismatch");
+        y.fill(0.0);
+        for (r, c, v) in self.iter() {
+            y[r] += v * x[c];
+        }
+    }
+}
+
+impl fmt::Display for CooMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CooMatrix {}x{}, {} triplets", self.nrows, self.ncols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 1, 2.0);
+        m.push(2, 3, -1.5);
+        assert_eq!(m.nnz(), 2);
+        let t: Vec<_> = m.iter().collect();
+        assert_eq!(t, vec![(0, 1, 2.0), (2, 3, -1.5)]);
+    }
+
+    #[test]
+    fn sort_and_dedup_sums_duplicates() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 1, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(1, 1, 3.0);
+        m.sort_and_dedup();
+        let t: Vec<_> = m.iter().collect();
+        assert_eq!(t, vec![(0, 0, 2.0), (1, 1, 4.0)]);
+    }
+
+    #[test]
+    fn transpose_swaps_shape() {
+        let mut m = CooMatrix::new(2, 3);
+        m.push(0, 2, 5.0);
+        let t = m.transpose();
+        assert_eq!((t.nrows(), t.ncols()), (3, 2));
+        assert_eq!(t.iter().next(), Some((2, 0, 5.0)));
+    }
+
+    #[test]
+    fn symmetrize_mirrors_offdiagonal() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 1, 2.0);
+        m.push(2, 2, 1.0);
+        let s = m.symmetrize();
+        assert_eq!(s.nnz(), 3);
+        let mut t: Vec<_> = s.iter().collect();
+        t.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        assert_eq!(t, vec![(0, 1, 2.0), (1, 0, 2.0), (2, 2, 1.0)]);
+    }
+
+    #[test]
+    fn dense_reference_product() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 1, 2.0);
+        m.push(1, 1, 3.0);
+        let x = [1.0, 10.0];
+        let mut y = [0.0; 2];
+        m.spmv_dense_reference(&x, &mut y);
+        assert_eq!(y, [21.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_triplets_validates_indices() {
+        CooMatrix::from_triplets(2, 2, vec![2], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    fn extend_from_unions_entries() {
+        let mut a = CooMatrix::new(2, 2);
+        a.push(0, 0, 1.0);
+        let mut b = CooMatrix::new(2, 2);
+        b.push(1, 1, 2.0);
+        a.extend_from(&b);
+        assert_eq!(a.nnz(), 2);
+    }
+}

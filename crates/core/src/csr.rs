@@ -1,0 +1,278 @@
+//! Compressed Sparse Row (CSR) — the baseline storage format of the paper
+//! (Section II, Fig. 2).
+//!
+//! `rowptr[i]..rowptr[i+1]` delimits the nonzeros of row `i` inside the
+//! parallel `colind`/`values` arrays. Column indices are `u32` (4 bytes), the
+//! same width the paper's footprint analysis assumes.
+
+use crate::coo::CooMatrix;
+
+/// A sparse matrix in CSR form with `f64` values and `u32` column indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colind: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent: `rowptr` must have `nrows + 1`
+    /// monotonically non-decreasing entries starting at 0 and ending at
+    /// `colind.len()`, `colind`/`values` must have equal length, and all
+    /// column indices must be `< ncols`.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colind: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), nrows + 1, "rowptr must have nrows+1 entries");
+        assert_eq!(rowptr[0], 0, "rowptr must start at 0");
+        assert_eq!(*rowptr.last().expect("nonempty"), colind.len(), "rowptr must end at nnz");
+        assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr must be non-decreasing");
+        assert_eq!(colind.len(), values.len(), "colind/values length mismatch");
+        assert!(
+            colind.iter().all(|&c| (c as usize) < ncols),
+            "column index out of bounds"
+        );
+        Self { nrows, ncols, rowptr, colind, values }
+    }
+
+    /// Converts from COO, sorting triplets and summing duplicates.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let mut sorted = coo.clone();
+        sorted.sort_and_dedup();
+        let (rows, cols, vals) = sorted.triplets();
+
+        let mut rowptr = vec![0usize; coo.nrows() + 1];
+        for &r in rows {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..coo.nrows() {
+            rowptr[i + 1] += rowptr[i];
+        }
+        Self {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+            rowptr,
+            colind: cols.to_vec(),
+            values: vals.to_vec(),
+        }
+    }
+
+    /// Converts back to COO (row-major triplet order).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for i in 0..self.nrows {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                coo.push(i, self.colind[k] as usize, self.values[k]);
+            }
+        }
+        coo
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzero elements.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colind.len()
+    }
+
+    /// The row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// The column index array (`nnz` entries).
+    #[inline]
+    pub fn colind(&self) -> &[u32] {
+        &self.colind
+    }
+
+    /// The nonzero values array (`nnz` entries).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (structure is immutable once built).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of nonzeros in row `i` (`nnz_i` in Table I).
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_cols(&self, i: usize) -> &[u32] {
+        &self.colind[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    #[inline]
+    pub fn row_vals(&self, i: usize) -> &[f64] {
+        &self.values[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Iterates `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            self.row_cols(i)
+                .iter()
+                .zip(self.row_vals(i))
+                .map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// In-memory footprint of the format in bytes
+    /// (`S_format = 8·NNZ + 4·NNZ + 8·(N+1)` for this layout), the
+    /// `M_A_format,min` term of the paper's bandwidth bounds.
+    pub fn footprint_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+            + self.colind.len() * std::mem::size_of::<u32>()
+            + self.rowptr.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Footprint of the values array alone — the paper's `M_A,min` for
+    /// `P_peak`, which assumes indexing structures compress away entirely.
+    pub fn values_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Extracts the diagonal (zero where absent). Used by Jacobi
+    /// preconditioning.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for i in 0..n {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                if self.colind[k] as usize == i {
+                    d[i] = self.values[k];
+                    break;
+                }
+            }
+        }
+        d
+    }
+
+    /// Returns a copy restricted to the given rows (used by matrix
+    /// decomposition and by partition-local analysis).
+    pub fn extract_rows(&self, rows: &[usize]) -> CooMatrix {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for &i in rows {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                coo.push(i, self.colind[k] as usize, self.values[k]);
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // Matrix from the paper's Fig. 5:
+        // [7.5 .   .   .   .   . ]
+        // [6.8 5.7 3.8 1.0 1.0 1.0]
+        // [2.4 6.2 .   .   .   . ]
+        // [9.7 .   .   2.3 .   . ]
+        // [.   .   .   .   5.8 . ]
+        // [.   .   .   .   6.6 . ]
+        let mut coo = CooMatrix::new(6, 6);
+        for (r, c, v) in [
+            (0, 0, 7.5),
+            (1, 0, 6.8),
+            (1, 1, 5.7),
+            (1, 2, 3.8),
+            (1, 3, 1.0),
+            (1, 4, 1.0),
+            (1, 5, 1.0),
+            (2, 0, 2.4),
+            (2, 1, 6.2),
+            (3, 0, 9.7),
+            (3, 3, 2.3),
+            (4, 4, 5.8),
+            (5, 4, 6.6),
+        ] {
+            coo.push(r, c, v);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn fig5_rowptr_matches_paper() {
+        let m = sample();
+        assert_eq!(m.rowptr(), &[0, 1, 7, 9, 11, 12, 13]);
+        assert_eq!(m.colind(), &[0, 0, 1, 2, 3, 4, 5, 0, 1, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let m = sample();
+        let back = CsrMatrix::from_coo(&m.to_coo());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let m = sample();
+        assert_eq!(m.row_nnz(1), 6);
+        assert_eq!(m.row_cols(2), &[0, 1]);
+        assert_eq!(m.row_vals(3), &[9.7, 2.3]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let m = sample();
+        assert_eq!(m.diagonal(), vec![7.5, 5.7, 0.0, 2.3, 5.8, 0.0]);
+    }
+
+    #[test]
+    fn footprint_accounts_all_arrays() {
+        let m = sample();
+        assert_eq!(m.footprint_bytes(), 13 * 8 + 13 * 4 + 7 * 8);
+        assert_eq!(m.values_bytes(), 13 * 8);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 3, 1.0);
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rowptr must end at nnz")]
+    fn from_raw_validates() {
+        CsrMatrix::from_raw(1, 1, vec![0, 2], vec![0], vec![1.0]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Decomposed CSR — the paper's IMB optimization for matrices with highly
+//! uneven row lengths (Fig. 5 and Fig. 6).
+//!
+//! Rows whose nonzero count exceeds a threshold ("long rows") are skipped by
+//! the regular row loop and computed in a second phase where *every* thread
+//! works on a slice of each long row, followed by a reduction of partial
+//! sums. Storage matches the paper's modified CSR: `values`/column data stay
+//! in plain row-major order, `rowptr` accumulates only short-row counts, and
+//! `offset[i]` holds the number of long-row elements preceding row `i`, so
+//! row `i`'s elements start at global position `rowptr[i] + offset[i]`.
+
+use crate::csr::CsrMatrix;
+
+/// CSR decomposed into a short-row part and a long-row part (paper Fig. 5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecomposedCsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Cumulative count of *short-row* nonzeros (`nrows + 1` entries).
+    rowptr: Vec<usize>,
+    /// Cumulative count of *long-row* nonzeros before each row
+    /// (`nrows + 1` entries) — the paper's `offset` array.
+    offset: Vec<usize>,
+    /// Indices of the long rows — the paper's `lrowind` array.
+    lrowind: Vec<u32>,
+    colind: Vec<u32>,
+    values: Vec<f64>,
+    threshold: usize,
+}
+
+impl DecomposedCsrMatrix {
+    /// Decomposes `csr`, treating rows with more than `threshold` nonzeros as
+    /// long rows.
+    pub fn from_csr(csr: &CsrMatrix, threshold: usize) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        let nrows = csr.nrows();
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        let mut offset = Vec::with_capacity(nrows + 1);
+        let mut lrowind = Vec::new();
+        rowptr.push(0usize);
+        offset.push(0usize);
+        for i in 0..nrows {
+            let len = csr.row_nnz(i);
+            let long = len > threshold;
+            if long {
+                lrowind.push(i as u32);
+            }
+            rowptr.push(rowptr[i] + if long { 0 } else { len });
+            offset.push(offset[i] + if long { len } else { 0 });
+        }
+        Self {
+            nrows,
+            ncols: csr.ncols(),
+            rowptr,
+            offset,
+            lrowind,
+            colind: csr.colind().to_vec(),
+            values: csr.values().to_vec(),
+            threshold,
+        }
+    }
+
+    /// Chooses a long-row threshold from the row-length distribution: rows
+    /// longer than `factor · nnz_avg` (min 8) are split out. The paper detects
+    /// the subcategory "by comparing the nnz_max and nnz_avg features".
+    pub fn auto_threshold(csr: &CsrMatrix, factor: f64) -> usize {
+        let n = csr.nrows().max(1);
+        let avg = csr.nnz() as f64 / n as f64;
+        ((avg * factor).ceil() as usize).max(8)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Total number of nonzeros (short + long).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The long-row indices (`lrowind` in the paper).
+    #[inline]
+    pub fn long_rows(&self) -> &[u32] {
+        &self.lrowind
+    }
+
+    /// The threshold used for the split.
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of nonzeros held by long rows.
+    pub fn long_nnz(&self) -> usize {
+        self.offset[self.nrows]
+    }
+
+    /// Short-row cumulative pointer (used for nnz-balanced partitioning of
+    /// phase 1).
+    #[inline]
+    pub fn short_rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Global element range of row `i` in `values`/`colind`
+    /// (row-major order, both phases share the arrays).
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = self.rowptr[i] + self.offset[i];
+        let end = self.rowptr[i + 1] + self.offset[i + 1];
+        start..end
+    }
+
+    /// True when row `i` was split out as a long row.
+    #[inline]
+    pub fn is_long(&self, i: usize) -> bool {
+        self.rowptr[i + 1] == self.rowptr[i] && self.offset[i + 1] > self.offset[i]
+    }
+
+    /// Column indices backing store.
+    #[inline]
+    pub fn colind(&self) -> &[u32] {
+        &self.colind
+    }
+
+    /// Values backing store.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Footprint in bytes, including the two auxiliary arrays.
+    pub fn footprint_bytes(&self) -> usize {
+        self.values.len() * 8
+            + self.colind.len() * 4
+            + self.rowptr.len() * 8
+            + self.offset.len() * 8
+            + self.lrowind.len() * 4
+    }
+
+    /// Reassembles the original CSR matrix (tests / round-trip invariant).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        for i in 0..self.nrows {
+            let len = self.row_range(i).len();
+            rowptr.push(rowptr[i] + len);
+        }
+        CsrMatrix::from_raw(
+            self.nrows,
+            self.ncols,
+            rowptr,
+            self.colind.clone(),
+            self.values.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// The exact matrix of the paper's Fig. 5.
+    fn fig5() -> CsrMatrix {
+        let mut coo = CooMatrix::new(6, 6);
+        for (r, c, v) in [
+            (0, 0, 7.5),
+            (1, 0, 6.8),
+            (1, 1, 5.7),
+            (1, 2, 3.8),
+            (1, 3, 1.0),
+            (1, 4, 1.0),
+            (1, 5, 1.0),
+            (2, 0, 2.4),
+            (2, 1, 6.2),
+            (3, 0, 9.7),
+            (3, 3, 2.3),
+            (4, 4, 5.8),
+            (5, 4, 6.6),
+        ] {
+            coo.push(r, c, v);
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn fig5_arrays_match_paper() {
+        // Threshold 5 makes row 1 (6 nonzeros) the single long row.
+        let d = DecomposedCsrMatrix::from_csr(&fig5(), 5);
+        assert_eq!(d.rowptr, vec![0, 1, 1, 3, 5, 6, 7]);
+        assert_eq!(d.offset, vec![0, 0, 6, 6, 6, 6, 6]);
+        assert_eq!(d.long_rows(), &[1]);
+        assert_eq!(d.long_nnz(), 6);
+    }
+
+    #[test]
+    fn row_ranges_address_row_major_storage() {
+        let d = DecomposedCsrMatrix::from_csr(&fig5(), 5);
+        assert_eq!(d.row_range(0), 0..1);
+        assert_eq!(d.row_range(1), 1..7); // the long row
+        assert_eq!(d.row_range(2), 7..9);
+        assert_eq!(d.row_range(3), 9..11);
+        assert_eq!(d.row_range(5), 12..13);
+        assert!(d.is_long(1));
+        assert!(!d.is_long(2));
+    }
+
+    #[test]
+    fn round_trip_reconstructs_original() {
+        let csr = fig5();
+        for threshold in [1, 2, 5, 100] {
+            let d = DecomposedCsrMatrix::from_csr(&csr, threshold);
+            assert_eq!(d.to_csr(), csr, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn no_long_rows_when_threshold_large() {
+        let d = DecomposedCsrMatrix::from_csr(&fig5(), 1000);
+        assert!(d.long_rows().is_empty());
+        assert_eq!(d.long_nnz(), 0);
+    }
+
+    #[test]
+    fn all_rows_long_when_threshold_tiny() {
+        let csr = fig5();
+        let d = DecomposedCsrMatrix::from_csr(&csr, 1);
+        // Rows with more than one nonzero are long: rows 1, 2, 3.
+        assert_eq!(d.long_rows(), &[1, 2, 3]);
+        assert_eq!(d.to_csr(), csr);
+    }
+
+    #[test]
+    fn auto_threshold_scales_with_avg() {
+        let csr = fig5(); // 13 nnz / 6 rows ≈ 2.17 avg
+        let t = DecomposedCsrMatrix::auto_threshold(&csr, 4.0);
+        assert_eq!(t, 9); // ceil(8.67) = 9, above the floor of 8
+    }
+}

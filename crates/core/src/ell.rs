@@ -1,0 +1,183 @@
+//! ELLPACK (ELL) format — a comparison format from the SpMV literature the
+//! paper's related work surveys (fixed-width rows, padding with zeros).
+//!
+//! ELL stores a dense `nrows × width` slab where `width = max(nnz_i)`;
+//! regular matrices vectorize beautifully, but a single long row blows up
+//! the padding — exactly the trade-off that motivates the paper's
+//! *decomposition* optimization for skewed matrices. Including ELL lets the
+//! benches quantify that failure mode directly.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Sentinel column for padded slots.
+const PAD: u32 = u32::MAX;
+
+/// ELLPACK storage: column-major `nrows × width` slabs of values and column
+/// indices, padded rows marked with a sentinel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EllMatrix {
+    nrows: usize,
+    ncols: usize,
+    width: usize,
+    /// Column-major: slot `k` of row `i` lives at `k * nrows + i`.
+    colind: Vec<u32>,
+    values: Vec<f64>,
+    nnz: usize,
+}
+
+impl EllMatrix {
+    /// Converts from CSR. `width` becomes the maximum row length.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let nrows = csr.nrows();
+        let width = (0..nrows).map(|i| csr.row_nnz(i)).max().unwrap_or(0);
+        let mut colind = vec![PAD; nrows * width];
+        let mut values = vec![0.0f64; nrows * width];
+        for i in 0..nrows {
+            for (k, (&c, &v)) in csr.row_cols(i).iter().zip(csr.row_vals(i)).enumerate() {
+                colind[k * nrows + i] = c;
+                values[k * nrows + i] = v;
+            }
+        }
+        Self { nrows, ncols: csr.ncols(), width, colind, values, nnz: csr.nnz() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored (unpadded) nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Slab width (maximum row length).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Fraction of the slab that is padding (0 = perfectly regular matrix).
+    pub fn padding_ratio(&self) -> f64 {
+        let slots = self.nrows * self.width;
+        if slots == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz as f64 / slots as f64
+        }
+    }
+
+    /// Footprint in bytes, padding included — the quantity that explodes on
+    /// skewed matrices.
+    pub fn footprint_bytes(&self) -> usize {
+        self.values.len() * 8 + self.colind.len() * 4
+    }
+
+    /// `y = A·x` over the slab (row loop with the slab's fixed trip count).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert_eq!(y.len(), self.nrows, "y length mismatch");
+        y.fill(0.0);
+        for k in 0..self.width {
+            let cols = &self.colind[k * self.nrows..(k + 1) * self.nrows];
+            let vals = &self.values[k * self.nrows..(k + 1) * self.nrows];
+            for i in 0..self.nrows {
+                let c = cols[i];
+                if c != PAD {
+                    y[i] += vals[i] * x[c as usize];
+                }
+            }
+        }
+    }
+
+    /// Converts back to COO (round-trip checks).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz);
+        for i in 0..self.nrows {
+            for k in 0..self.width {
+                let c = self.colind[k * self.nrows + i];
+                if c != PAD {
+                    coo.push(i, c as usize, self.values[k * self.nrows + i]);
+                }
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::SpmvKernel;
+
+    fn sample(lens: &[usize]) -> CsrMatrix {
+        let n = lens.len();
+        let w = lens.iter().copied().max().unwrap_or(1).max(n);
+        let mut coo = CooMatrix::new(n, w);
+        for (i, &l) in lens.iter().enumerate() {
+            for j in 0..l {
+                coo.push(i, (i + j * 3) % w, (i * 10 + j) as f64 + 1.0);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn regular_matrix_has_no_padding() {
+        let csr = sample(&[4; 8]);
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(ell.width(), 4);
+        assert_eq!(ell.padding_ratio(), 0.0);
+    }
+
+    #[test]
+    fn skewed_matrix_pads_heavily() {
+        let mut lens = vec![2usize; 32];
+        lens[0] = 32;
+        let csr = sample(&lens);
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(ell.width(), 32);
+        assert!(ell.padding_ratio() > 0.8, "padding {}", ell.padding_ratio());
+        assert!(ell.footprint_bytes() > 3 * csr.footprint_bytes());
+    }
+
+    #[test]
+    fn spmv_matches_csr_reference() {
+        let csr = sample(&[3, 7, 0, 5, 1, 4]);
+        let ell = EllMatrix::from_csr(&csr);
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut want = vec![0.0; csr.nrows()];
+        crate::kernels::SerialCsr::new(std::sync::Arc::new(csr.clone())).spmv(&x, &mut want);
+        let mut got = vec![0.0; csr.nrows()];
+        ell.spmv(&x, &mut got);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let csr = sample(&[2, 5, 3, 0, 1]);
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(CsrMatrix::from_coo(&ell.to_coo()), csr);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(3, 3));
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(ell.width(), 0);
+        let mut y = vec![1.0; 3];
+        ell.spmv(&[0.0; 3], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

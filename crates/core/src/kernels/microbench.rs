@@ -1,0 +1,157 @@
+//! Micro-benchmark kernels used by the per-class performance bounds
+//! (paper Section III-B).
+//!
+//! - `P_ML` runs "a modified SpMV kernel where irregular accesses to the
+//!   right-hand side vector x are converted to regular accesses ... by
+//!   setting all entries of the colind array to the row index of the
+//!   corresponding element" — [`regularize_colind`] builds that matrix and any
+//!   CSR kernel runs it.
+//! - `P_CMP` runs "a modified SpMV kernel where we completely eliminate
+//!   indirect memory references ... we no longer use colind to index vector
+//!   x, but always access x[i]" — [`UnitStrideCsr`].
+
+use super::{check_operands, SpmvKernel};
+use crate::csr::CsrMatrix;
+use crate::pool::ExecCtx;
+use crate::schedule::{ResolvedSchedule, Schedule};
+use crate::util::SendMutPtr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Returns a structurally identical matrix whose every column index in row
+/// `i` is `i` itself (clamped to the column count), which converts all `x`
+/// accesses into regular, cache-resident ones. Used for the `P_ML` bound.
+pub fn regularize_colind(csr: &CsrMatrix) -> CsrMatrix {
+    let mut colind = Vec::with_capacity(csr.nnz());
+    let ncols = csr.ncols();
+    for i in 0..csr.nrows() {
+        let c = i.min(ncols.saturating_sub(1)) as u32;
+        colind.extend(std::iter::repeat(c).take(csr.row_nnz(i)));
+    }
+    CsrMatrix::from_raw(
+        csr.nrows(),
+        csr.ncols(),
+        csr.rowptr().to_vec(),
+        colind,
+        csr.values().to_vec(),
+    )
+}
+
+/// CSR kernel that ignores `colind` entirely and accesses `x[i]` — the
+/// `P_CMP` micro-benchmark. Note the result is *not* `A·x`; it exists purely
+/// to measure the compute-only upper bound.
+pub struct UnitStrideCsr {
+    matrix: Arc<CsrMatrix>,
+    ctx: Arc<ExecCtx>,
+    resolved: ResolvedSchedule,
+}
+
+impl UnitStrideCsr {
+    /// Builds the micro-benchmark kernel with the baseline schedule.
+    pub fn new(matrix: Arc<CsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        let resolved = Schedule::StaticNnz.resolve(&matrix, ctx.nthreads());
+        Self { matrix, ctx, resolved }
+    }
+}
+
+impl SpmvKernel for UnitStrideCsr {
+    fn name(&self) -> String {
+        "csr-unit-stride(microbench)".into()
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        let m = &self.matrix;
+        check_operands(m.nrows(), m.ncols(), x, y);
+        let yp = SendMutPtr::new(y);
+        let ncols = m.ncols();
+        self.resolved.execute(&self.ctx, m.nrows(), |rows| {
+            for i in rows {
+                let xi = x[i.min(ncols - 1)];
+                let mut sum = 0.0;
+                for &v in m.row_vals(i) {
+                    sum += v * xi;
+                }
+                // SAFETY: schedule guarantees row-disjoint writes.
+                unsafe { yp.write(i, sum) };
+            }
+        });
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        // No colind traffic: values + rowptr only.
+        self.matrix.values_bytes() + (self.matrix.nrows() + 1) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::kernels::{ParallelCsr, SerialCsr};
+
+    fn sample(n: usize) -> Arc<CsrMatrix> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i * 17 + 3) % n, 1.5);
+            coo.push(i, (i * 5 + 1) % n, -0.5);
+        }
+        Arc::new(CsrMatrix::from_coo(&coo))
+    }
+
+    #[test]
+    fn regularized_matrix_has_row_index_columns() {
+        let m = sample(40);
+        let reg = regularize_colind(&m);
+        assert_eq!(reg.nnz(), m.nnz());
+        for i in 0..40 {
+            for &c in reg.row_cols(i) {
+                assert_eq!(c as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn regularized_matrix_runs_on_standard_kernels() {
+        let m = sample(60);
+        let reg = Arc::new(regularize_colind(&m));
+        let x = vec![2.0; 60];
+        let mut y = vec![0.0; 60];
+        ParallelCsr::baseline(reg.clone(), ExecCtx::new(2)).spmv(&x, &mut y);
+        // Every row sums its values times x[i] = 2.0.
+        let mut expect = vec![0.0; 60];
+        SerialCsr::new(reg).spmv(&x, &mut expect);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn unit_stride_sums_row_values() {
+        let m = sample(30);
+        let k = UnitStrideCsr::new(m.clone(), ExecCtx::new(2));
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut y = vec![0.0; 30];
+        k.spmv(&x, &mut y);
+        for i in 0..30 {
+            let expect: f64 = m.row_vals(i).iter().sum::<f64>() * i as f64;
+            assert!((y[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_stride_footprint_excludes_colind() {
+        let m = sample(30);
+        let k = UnitStrideCsr::new(m.clone(), ExecCtx::new(1));
+        assert!(k.footprint_bytes() < m.footprint_bytes());
+    }
+}

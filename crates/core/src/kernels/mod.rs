@@ -1,0 +1,81 @@
+//! SpMV kernels: the baseline CSR kernel (paper Fig. 2), its optimized
+//! variants (Table II), and the micro-benchmark kernels used by the per-class
+//! performance bounds (Section III-B).
+//!
+//! Kernels are built once per matrix (paying any preprocessing cost up
+//! front, which the amortization analysis of Table V charges) and then invoked
+//! repeatedly via [`SpmvKernel::spmv`].
+
+mod csr;
+mod decomposed;
+mod delta;
+mod microbench;
+mod rowprim;
+
+pub use csr::{CsrKernelConfig, ParallelCsr, SerialCsr};
+pub use decomposed::DecomposedKernel;
+pub use delta::DeltaKernel;
+pub use microbench::{regularize_colind, UnitStrideCsr};
+pub use rowprim::{row_dot, InnerLoop};
+
+use std::time::Duration;
+
+/// A reusable `y = A·x` kernel.
+pub trait SpmvKernel: Send + Sync {
+    /// Human-readable kernel identifier, e.g. `csr-parallel[simd+prefetch]`.
+    fn name(&self) -> String;
+
+    /// `(nrows, ncols)` of the operator.
+    fn shape(&self) -> (usize, usize);
+
+    /// Number of stored nonzeros.
+    fn nnz(&self) -> usize;
+
+    /// Computes `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+
+    /// Per-thread wall times of the most recent `spmv` call, if the kernel
+    /// tracks them (parallel kernels do; serial kernels return one entry).
+    fn last_thread_times(&self) -> Vec<Duration> {
+        Vec::new()
+    }
+
+    /// Bytes of matrix data the kernel streams per multiplication.
+    fn footprint_bytes(&self) -> usize;
+
+    /// Floating-point operations per multiplication (`2 · NNZ`, the paper's
+    /// convention).
+    fn flops(&self) -> f64 {
+        2.0 * self.nnz() as f64
+    }
+}
+
+/// Computes Gflop/s from a flop count and a duration in seconds.
+pub fn gflops(flops: f64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        flops / secs / 1e9
+    }
+}
+
+/// Validates operand shapes; shared by all kernel implementations.
+#[inline]
+pub(crate) fn check_operands(nrows: usize, ncols: usize, x: &[f64], y: &[f64]) {
+    assert_eq!(x.len(), ncols, "x length {} != ncols {}", x.len(), ncols);
+    assert_eq!(y.len(), nrows, "y length {} != nrows {}", y.len(), nrows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_math() {
+        assert_eq!(gflops(2e9, 1.0), 2.0);
+        assert_eq!(gflops(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! # sparseopt-core
+//!
+//! Sparse matrix storage formats, SpMV kernels, and the parallel execution
+//! substrate (thread pool, partitioners, loop schedules) underlying the
+//! `sparseopt` adaptive SpMV optimizer — a reproduction of Elafrou, Goumas &
+//! Koziris, *"Performance Analysis and Optimization of Sparse Matrix-Vector
+//! Multiplication on Modern Multi- and Many-Core Processors"* (ICPP 2017).
+//!
+//! ## Layout
+//!
+//! - [`coo`] / [`csr`] — interchange and baseline compute formats.
+//! - [`delta`] — delta-compressed column indices (MB optimization).
+//! - [`decomposed`] — long-row decomposition (IMB optimization, Fig. 5/6).
+//! - [`kernels`] — the SpMV kernel family (Fig. 2 baseline, Table II
+//!   optimizations, Section III-B micro-benchmarks).
+//! - [`partition`] / [`schedule`] / [`pool`] — row partitioning, loop
+//!   scheduling policies, and the timed thread pool.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sparseopt_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut coo = CooMatrix::new(4, 4);
+//! for i in 0..4 { coo.push(i, i, 2.0); }
+//! let csr = Arc::new(CsrMatrix::from_coo(&coo));
+//! let kernel = ParallelCsr::baseline(csr, ExecCtx::new(2));
+//!
+//! let x = vec![1.0; 4];
+//! let mut y = vec![0.0; 4];
+//! kernel.spmv(&x, &mut y);
+//! assert_eq!(y, vec![2.0; 4]);
+//! ```
+
+pub mod bcsr;
+pub mod coo;
+pub mod csr;
+pub mod decomposed;
+pub mod delta;
+pub mod ell;
+pub mod kernels;
+pub mod partition;
+pub mod pool;
+pub mod schedule;
+pub mod util;
+
+/// Convenient re-exports of the types used by nearly every consumer.
+pub mod prelude {
+    pub use crate::bcsr::BcsrMatrix;
+    pub use crate::coo::CooMatrix;
+    pub use crate::csr::CsrMatrix;
+    pub use crate::decomposed::DecomposedCsrMatrix;
+    pub use crate::delta::{DeltaCsrMatrix, DeltaWidth};
+    pub use crate::ell::EllMatrix;
+    pub use crate::kernels::{
+        gflops, CsrKernelConfig, DecomposedKernel, DeltaKernel, InnerLoop, ParallelCsr, SerialCsr, SpmvKernel,
+        UnitStrideCsr,
+    };
+    pub use crate::partition::Partition;
+    pub use crate::pool::ExecCtx;
+    pub use crate::schedule::Schedule;
+}
+
+pub use prelude::*;

@@ -1,0 +1,205 @@
+//! One-dimensional row partitioning schemes.
+//!
+//! The paper's baseline uses "a static one-dimensional row partitioning
+//! scheme, where each partition has approximately equal number of nonzero
+//! elements and is assigned to a single thread" (Section IV-A). The MKL-like
+//! baseline instead splits by row count, which is what exposes the IMB class.
+
+use crate::csr::CsrMatrix;
+use std::ops::Range;
+
+/// A static assignment of contiguous row ranges to threads.
+///
+/// Invariants (checked by `debug_assert` and property tests):
+/// ranges are contiguous, disjoint, ordered, and cover `0..nrows`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    ranges: Vec<Range<usize>>,
+}
+
+impl Partition {
+    /// Builds a partition from explicit ranges, validating the covering
+    /// invariant.
+    pub fn from_ranges(nrows: usize, ranges: Vec<Range<usize>>) -> Self {
+        let mut expect = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, expect, "partition ranges must be contiguous");
+            assert!(r.end >= r.start, "partition range must be non-decreasing");
+            expect = r.end;
+        }
+        assert_eq!(expect, nrows, "partition must cover all rows");
+        Self { ranges }
+    }
+
+    /// Splits `0..nrows` into `nparts` ranges of (nearly) equal **row count**.
+    pub fn by_rows(nrows: usize, nparts: usize) -> Self {
+        assert!(nparts > 0, "need at least one partition");
+        let base = nrows / nparts;
+        let extra = nrows % nparts;
+        let mut ranges = Vec::with_capacity(nparts);
+        let mut start = 0;
+        for p in 0..nparts {
+            let len = base + usize::from(p < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        Self { ranges }
+    }
+
+    /// Splits rows into `nparts` contiguous ranges of (nearly) equal **nonzero
+    /// count** — the paper's baseline workload distribution.
+    ///
+    /// Greedy scan: a partition is closed once its nnz reaches the remaining
+    /// average, which keeps every partition within one row's worth of the
+    /// ideal except when single rows exceed the quota (the IMB case).
+    pub fn by_nnz(csr: &CsrMatrix, nparts: usize) -> Self {
+        Self::by_rowptr(csr.rowptr(), nparts)
+    }
+
+    /// Same as [`Self::by_nnz`] but driven by an explicit cumulative row
+    /// pointer, so it also works for derived formats (e.g. the short-row part
+    /// of a decomposed matrix).
+    pub fn by_rowptr(rowptr: &[usize], nparts: usize) -> Self {
+        assert!(nparts > 0, "need at least one partition");
+        assert!(!rowptr.is_empty(), "rowptr must have at least one entry");
+        let nrows = rowptr.len() - 1;
+        let total = rowptr[nrows];
+        let row_nnz = |i: usize| rowptr[i + 1] - rowptr[i];
+        let mut ranges = Vec::with_capacity(nparts);
+        let mut row = 0usize;
+        let mut done_nnz = 0usize;
+        for p in 0..nparts {
+            let parts_left = nparts - p;
+            let target = (total - done_nnz).div_ceil(parts_left);
+            let start = row;
+            let mut acc = 0usize;
+            // Close the partition once the remaining-average quota is met;
+            // empty tail ranges are permitted when rows run out.
+            while row < nrows && (acc < target || acc == 0) {
+                if p + 1 < nparts && acc > 0 && acc + row_nnz(row) > target + target / 2 {
+                    break;
+                }
+                acc += row_nnz(row);
+                row += 1;
+            }
+            if p + 1 == nparts {
+                row = nrows;
+            }
+            done_nnz += rowptr[row] - rowptr[start];
+            ranges.push(start..row);
+        }
+        Self::from_ranges(nrows, ranges)
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when there are no partitions (only for `nrows == 0` pathologies).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The row range of partition `p`.
+    #[inline]
+    pub fn range(&self, p: usize) -> Range<usize> {
+        self.ranges[p].clone()
+    }
+
+    /// All ranges.
+    #[inline]
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Per-partition nonzero counts for a given matrix.
+    pub fn nnz_per_part(&self, csr: &CsrMatrix) -> Vec<usize> {
+        self.ranges
+            .iter()
+            .map(|r| csr.rowptr()[r.end] - csr.rowptr()[r.start])
+            .collect()
+    }
+
+    /// Load-imbalance factor `max(nnz_p) / mean(nnz_p)`; 1.0 is perfectly
+    /// balanced. Returns 1.0 for empty matrices.
+    pub fn imbalance_factor(&self, csr: &CsrMatrix) -> f64 {
+        let per = self.nnz_per_part(csr);
+        let max = per.iter().copied().max().unwrap_or(0) as f64;
+        let mean = csr.nnz() as f64 / per.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn ragged(nrows: usize, lens: &[usize]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(nrows, nrows.max(*lens.iter().max().unwrap_or(&1)));
+        for (i, &l) in lens.iter().enumerate() {
+            for j in 0..l {
+                coo.push(i, j, 1.0);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn by_rows_covers_evenly() {
+        let p = Partition::by_rows(10, 3);
+        assert_eq!(p.ranges(), &[0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn by_rows_more_parts_than_rows() {
+        let p = Partition::by_rows(2, 4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.range(3), 2..2);
+        let total: usize = p.ranges().iter().map(|r| r.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn by_nnz_balances_uniform() {
+        let m = ragged(8, &[4; 8]);
+        let p = Partition::by_nnz(&m, 4);
+        let per = p.nnz_per_part(&m);
+        assert_eq!(per, vec![8, 8, 8, 8]);
+        assert!((p.imbalance_factor(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_nnz_handles_dominant_row() {
+        // One row holds 100 of 107 nonzeros: its partition must be the hot one.
+        let m = ragged(8, &[1, 1, 1, 100, 1, 1, 1, 1]);
+        let p = Partition::by_nnz(&m, 4);
+        assert_eq!(p.len(), 4);
+        assert!(p.imbalance_factor(&m) > 3.0, "dominant row forces imbalance");
+        let total: usize = p.nnz_per_part(&m).iter().sum();
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn by_nnz_beats_by_rows_on_skew() {
+        // Front-loaded matrix: first rows are dense, later rows sparse.
+        let lens: Vec<usize> = (0..64).map(|i| if i < 8 { 64 } else { 2 }).collect();
+        let m = ragged(64, &lens);
+        let rows = Partition::by_rows(64, 4);
+        let nnz = Partition::by_nnz(&m, 4);
+        assert!(nnz.imbalance_factor(&m) < rows.imbalance_factor(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all rows")]
+    fn from_ranges_validates_cover() {
+        Partition::from_ranges(4, vec![0..2]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Small unsafe/arch utilities shared by the kernels.
+
+/// A raw mutable pointer that asserts `Send + Sync` so disjoint slices of an
+/// output vector can be written from multiple threads.
+///
+/// # Safety contract
+/// Callers must guarantee that concurrent users write **disjoint** index
+/// ranges. The scheduling executors in [`crate::schedule`] uphold this by
+/// construction: every row index is dispensed to exactly one thread.
+#[derive(Clone, Copy)]
+pub(crate) struct SendMutPtr<T>(pub *mut T);
+
+unsafe impl<T> Send for SendMutPtr<T> {}
+unsafe impl<T> Sync for SendMutPtr<T> {}
+
+impl<T> SendMutPtr<T> {
+    #[inline]
+    pub(crate) fn new(slice: &mut [T]) -> Self {
+        Self(slice.as_mut_ptr())
+    }
+
+    /// # Safety
+    /// `idx` must be in bounds of the original slice and not concurrently
+    /// aliased by another writer.
+    #[inline]
+    pub(crate) unsafe fn write(&self, idx: usize, value: T) {
+        unsafe { *self.0.add(idx) = value }
+    }
+
+}
+
+/// Issues a read prefetch for the cache line containing `ptr` into L1
+/// (locality hint T0), matching the paper's ML optimization ("data are
+/// prefetched into the L1 cache"). No-op on non-x86 targets.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// Returns true when AVX2 gather-based SIMD kernels can run on this host.
+#[inline]
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Median of a slice of `f64` (average of the two middle elements for even
+/// lengths). Returns `None` for empty input.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in medians"));
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 { v[mid] } else { 0.5 * (v[mid - 1] + v[mid]) })
+}
+
+/// Harmonic mean, the summary statistic the paper uses for performance rates
+/// over repeated benchmark runs (Section IV-A).
+pub fn harmonic_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let inv_sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / inv_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[2.0, 2.0]), Some(2.0));
+        let hm = harmonic_mean(&[1.0, 2.0]).unwrap();
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), None);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn send_ptr_disjoint_writes() {
+        let mut data = vec![0u64; 8];
+        let p = SendMutPtr::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                s.spawn(move || {
+                    for i in (t * 4)..(t * 4 + 4) {
+                        unsafe { p.write(i, i as u64) };
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn prefetch_is_safe_noop() {
+        let v = [1.0f64; 4];
+        prefetch_read(v.as_ptr());
+    }
+}

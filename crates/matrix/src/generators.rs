@@ -1,0 +1,377 @@
+//! Synthetic sparse matrix generators covering the structural categories of
+//! the paper's evaluation suite (Section IV, University of Florida
+//! collection).
+//!
+//! Each generator controls exactly the structural features (Table I) that
+//! drive the bottleneck classes:
+//!
+//! | generator | structure | typical class |
+//! |---|---|---|
+//! | [`dense`] | fully dense rows | CMP (small) / MB (large) |
+//! | [`banded`] | narrow diagonal band | MB |
+//! | [`poisson3d`] | 7-point FEM stencil | MB |
+//! | [`blocked_fem`] | small dense blocks on a band | MB/CMP |
+//! | [`random_uniform`] | uniformly scattered columns | ML |
+//! | [`power_law`] | scale-free degree distribution | ML + IMB |
+//! | [`few_dense_rows`] | sparse background + mega rows | IMB + CMP |
+//! | [`rmat`] | recursively skewed web/social graph | ML + IMB |
+//! | [`diagonal`] | single diagonal | — (short rows) |
+//! | [`short_rows`] | 1–2 nnz per row | loop-overhead (CMP via short rows) |
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparseopt_core::coo::CooMatrix;
+
+/// Fully dense `n × n` matrix stored sparsely (paper's `small-dense` /
+/// `large-dense` endpoints).
+pub fn dense(n: usize) -> CooMatrix {
+    let mut coo = CooMatrix::with_capacity(n, n, n * n);
+    for i in 0..n {
+        for j in 0..n {
+            coo.push(i, j, value_for(i, j));
+        }
+    }
+    coo
+}
+
+/// Banded matrix with `band` super/sub-diagonals (regular, MB-friendly).
+pub fn banded(n: usize, band: usize) -> CooMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        for j in i.saturating_sub(band)..(i + band + 1).min(n) {
+            coo.push(i, j, if i == j { 2.0 * band as f64 + 1.0 } else { value_for(i, j) });
+        }
+    }
+    coo
+}
+
+/// Single-diagonal matrix (degenerate regular case).
+pub fn diagonal(n: usize) -> CooMatrix {
+    let mut coo = CooMatrix::with_capacity(n, n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0 + (i % 7) as f64);
+    }
+    coo
+}
+
+/// 7-point Poisson stencil on an `nx × ny × nz` grid — the classic FEM/PDE
+/// structure (paper's `poisson3Db`, `FEM_3D_thermal2`, `G3_circuit`,
+/// `thermal2`, `parabolic_fem` category). Symmetric positive definite.
+pub fn poisson3d(nx: usize, ny: usize, nz: usize) -> CooMatrix {
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, 6.0);
+                if x > 0 {
+                    coo.push(i, idx(x - 1, y, z), -1.0);
+                }
+                if x + 1 < nx {
+                    coo.push(i, idx(x + 1, y, z), -1.0);
+                }
+                if y > 0 {
+                    coo.push(i, idx(x, y - 1, z), -1.0);
+                }
+                if y + 1 < ny {
+                    coo.push(i, idx(x, y + 1, z), -1.0);
+                }
+                if z > 0 {
+                    coo.push(i, idx(x, y, z - 1), -1.0);
+                }
+                if z + 1 < nz {
+                    coo.push(i, idx(x, y, z + 1), -1.0);
+                }
+            }
+        }
+    }
+    coo
+}
+
+/// 5-point Poisson stencil on an `nx × ny` grid (2-D variant, SPD).
+pub fn poisson2d(nx: usize, ny: usize) -> CooMatrix {
+    let n = nx * ny;
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, 4.0);
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), -1.0);
+            }
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), -1.0);
+            }
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), -1.0);
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), -1.0);
+            }
+        }
+    }
+    coo
+}
+
+/// Block-structured FEM-like matrix: dense `block × block` tiles scattered
+/// along a band (paper's `consph`, `pkustk08`, `nd24k`, `boneS10` category —
+/// high nnz/row, clustered columns).
+pub fn blocked_fem(nblocks: usize, block: usize, blocks_per_row: usize, seed: u64) -> CooMatrix {
+    let n = nblocks * block;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for bi in 0..nblocks {
+        // Diagonal block plus a few nearby blocks.
+        let mut targets = vec![bi];
+        for _ in 1..blocks_per_row {
+            let span = (nblocks / 16).max(2);
+            let off = rng.gen_range(0..=2 * span) as isize - span as isize;
+            let bj = (bi as isize + off).clamp(0, nblocks as isize - 1) as usize;
+            targets.push(bj);
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        for bj in targets {
+            for di in 0..block {
+                for dj in 0..block {
+                    let (i, j) = (bi * block + di, bj * block + dj);
+                    let v = if i == j { block as f64 * blocks_per_row as f64 } else { value_for(i, j) };
+                    coo.push(i, j, v);
+                }
+            }
+        }
+    }
+    coo
+}
+
+/// Uniform random matrix: each row has exactly `nnz_per_row` entries at
+/// uniformly random columns — maximally irregular `x` access (ML class).
+pub fn random_uniform(n: usize, nnz_per_row: usize, seed: u64) -> CooMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * nnz_per_row);
+    for i in 0..n {
+        for _ in 0..nnz_per_row {
+            let j = rng.gen_range(0..n);
+            coo.push(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    coo
+}
+
+/// Scale-free matrix with power-law row lengths (paper's web/citation graphs:
+/// `web-Google`, `citationCiteseer`, `flickr`, `eu-2005`,
+/// `wikipedia-20051105`, `amazon-2008`). Row `i` receives
+/// `⌈c · (i+1)^(−alpha) · n⌉` entries (clamped), columns preferentially
+/// attached to low indices — yielding both irregularity (ML) and skew (IMB).
+pub fn power_law(n: usize, avg_nnz_per_row: usize, alpha: f64, seed: u64) -> CooMatrix {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let target_nnz = n * avg_nnz_per_row;
+    // Normalize the zeta-like weights so the expected total matches.
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut coo = CooMatrix::with_capacity(n, n, target_nnz + n);
+    for i in 0..n {
+        let len = ((weights[i] / wsum) * target_nnz as f64).round().max(1.0) as usize;
+        let len = len.min(n);
+        // Hubs are scattered through the index space, as in real web/social
+        // graphs (crawl order does not sort by degree): a fixed coprime
+        // multiplicative permutation relocates row `i`.
+        let row = scatter_index(i, n);
+        for _ in 0..len {
+            // Preferential attachment: column sampled with the same skew,
+            // scattered identically.
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            let j = ((u.powf(2.0)) * n as f64) as usize % n;
+            coo.push(row, scatter_index(j, n), rng.gen_range(-1.0..1.0));
+        }
+    }
+    coo
+}
+
+/// Deterministic pseudo-random permutation of `[0, n)` via multiplication by
+/// a fixed prime (coprime to any `n` it does not divide; fall back to
+/// identity+offset otherwise). Spreads degree-sorted structures through the
+/// index space.
+#[inline]
+fn scatter_index(i: usize, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    if n % 7919 == 0 {
+        (i * 7907 + 13) % n
+    } else {
+        (i * 7919 + 13) % n
+    }
+}
+
+/// Sparse background plus `k` completely dense rows — the circuit-simulation
+/// shape (`ASIC_680k`, `rajat30`, `FullChip`, `circuit5M`, `degme`) whose
+/// nonzeros concentrate in a few rows (IMB + CMP classes).
+pub fn few_dense_rows(n: usize, background_nnz: usize, k: usize, seed: u64) -> CooMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0);
+        for _ in 1..background_nnz.max(1) {
+            let j = rng.gen_range(0..n);
+            coo.push(i, j, rng.gen_range(-0.5..0.5));
+        }
+    }
+    // k dense rows spread through the matrix.
+    for d in 0..k {
+        let row = d * n / k.max(1);
+        for j in 0..n {
+            coo.push(row, j, rng.gen_range(-0.1..0.1));
+        }
+    }
+    coo
+}
+
+/// R-MAT recursive graph generator (Chakrabarti et al.) — skewed web-graph
+/// adjacency structure. `scale` gives `n = 2^scale` vertices; `edges_factor`
+/// edges per vertex; `(a, b, c)` the recursive quadrant probabilities
+/// (`d = 1 − a − b − c`).
+pub fn rmat(scale: u32, edges_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> CooMatrix {
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities must sum below 1");
+    let n = 1usize << scale;
+    let nedges = n * edges_factor;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, nedges);
+    for _ in 0..nedges {
+        let (mut r0, mut r1, mut c0, mut c1) = (0usize, n, 0usize, n);
+        while r1 - r0 > 1 {
+            let u: f64 = rng.gen();
+            let (rh, ch) = ((r0 + r1) / 2, (c0 + c1) / 2);
+            if u < a {
+                r1 = rh;
+                c1 = ch;
+            } else if u < a + b {
+                r1 = rh;
+                c0 = ch;
+            } else if u < a + b + c {
+                r0 = rh;
+                c1 = ch;
+            } else {
+                r0 = rh;
+                c0 = ch;
+            }
+        }
+        // R-MAT's recursion biases mass toward low indices; scatter the
+        // vertex ids so hub rows spread through the matrix like a real
+        // crawl-ordered graph.
+        coo.push(scatter_index(r0, n), scatter_index(c0, n), rng.gen_range(-1.0..1.0));
+    }
+    coo
+}
+
+/// Matrix of very short rows (1–2 nonzeros each, like `webbase-1M`'s tail or
+/// `delaunay_n19`) to exercise inner-loop/trip-count overheads.
+pub fn short_rows(n: usize, seed: u64) -> CooMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, rng.gen_range(0..n), 1.0);
+        if rng.gen_bool(0.5) {
+            coo.push(i, rng.gen_range(0..n), -1.0);
+        }
+    }
+    coo
+}
+
+/// Deterministic nonzero value so generated matrices are reproducible and
+/// nontrivial (avoids the all-ones degenerate case).
+#[inline]
+fn value_for(i: usize, j: usize) -> f64 {
+    let h = (i.wrapping_mul(2654435761) ^ j.wrapping_mul(40503)) % 1000;
+    (h as f64) / 500.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseopt_core::csr::CsrMatrix;
+
+    #[test]
+    fn dense_has_full_rows() {
+        let m = CsrMatrix::from_coo(&dense(10));
+        assert_eq!(m.nnz(), 100);
+        for i in 0..10 {
+            assert_eq!(m.row_nnz(i), 10);
+        }
+    }
+
+    #[test]
+    fn banded_width() {
+        let m = CsrMatrix::from_coo(&banded(20, 2));
+        assert_eq!(m.row_nnz(10), 5);
+        assert_eq!(m.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn poisson3d_is_symmetric_spd_structure() {
+        let coo = poisson3d(4, 4, 4);
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.nrows(), 64);
+        // Interior points have 7 nonzeros, corners 4.
+        let lens: Vec<usize> = (0..64).map(|i| m.row_nnz(i)).collect();
+        assert_eq!(*lens.iter().max().unwrap(), 7);
+        assert_eq!(*lens.iter().min().unwrap(), 4);
+        // Structural symmetry.
+        let t = CsrMatrix::from_coo(&coo.transpose());
+        assert_eq!(m.colind(), t.colind());
+        // Diagonally dominant.
+        for i in 0..64 {
+            let diag = m.diagonal()[i];
+            let off: f64 =
+                m.row_vals(i).iter().map(|v| v.abs()).sum::<f64>() - diag.abs();
+            assert!(diag >= off);
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let m = CsrMatrix::from_coo(&power_law(1000, 8, 1.0, 42));
+        let lens: Vec<usize> = (0..1000).map(|i| m.row_nnz(i)).collect();
+        let max = *lens.iter().max().unwrap();
+        let avg = m.nnz() as f64 / 1000.0;
+        assert!(max as f64 > 10.0 * avg, "max {max} should dwarf avg {avg}");
+    }
+
+    #[test]
+    fn few_dense_rows_concentrates_nnz() {
+        let m = CsrMatrix::from_coo(&few_dense_rows(500, 2, 3, 7));
+        let dense_nnz: usize = [0, 166, 333].iter().map(|&r| m.row_nnz(r)).sum();
+        assert!(dense_nnz as f64 > 0.4 * m.nnz() as f64);
+    }
+
+    #[test]
+    fn rmat_dimensions_and_skew() {
+        let m = CsrMatrix::from_coo(&rmat(10, 8, 0.57, 0.19, 0.19, 123));
+        assert_eq!(m.nrows(), 1024);
+        assert!(m.nnz() > 0 && m.nnz() <= 1024 * 8);
+        let lens: Vec<usize> = (0..1024).map(|i| m.row_nnz(i)).collect();
+        let max = *lens.iter().max().unwrap() as f64;
+        let avg = m.nnz() as f64 / 1024.0;
+        assert!(max > 4.0 * avg, "rmat should be skewed (max {max}, avg {avg})");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_uniform(64, 4, 99);
+        let b = random_uniform(64, 4, 99);
+        assert_eq!(a, b);
+        assert_ne!(a, random_uniform(64, 4, 100));
+    }
+
+    #[test]
+    fn short_rows_are_short() {
+        let m = CsrMatrix::from_coo(&short_rows(200, 5));
+        for i in 0..200 {
+            assert!(m.row_nnz(i) <= 2);
+        }
+    }
+}

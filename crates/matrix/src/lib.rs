@@ -1,0 +1,19 @@
+//! # sparseopt-matrix
+//!
+//! Synthetic sparse matrix generators, the paper's evaluation/training
+//! suites, Matrix Market I/O, and Table I structural feature extraction.
+//!
+//! The generators replace the University of Florida Sparse Matrix Collection
+//! (which cannot ship with the repository) with structurally equivalent
+//! synthetic matrices; see `DESIGN.md` for the substitution argument and
+//! [`suite`] for the per-matrix mapping.
+
+pub mod features;
+pub mod generators;
+pub mod io;
+pub mod reorder;
+pub mod suite;
+
+pub use features::{FeatureSet, MatrixFeatures, ELEMS_PER_CACHE_LINE};
+pub use reorder::{bandwidth, reverse_cuthill_mckee, Permutation};
+pub use suite::{by_name, paper_suite, suite_names, training_suite, Category, SuiteMatrix};

@@ -1,0 +1,161 @@
+//! Multilabel classification metrics — the Exact and Partial Match Ratios of
+//! the paper's Section IV-B.
+
+/// Exact Match Ratio: fraction of samples whose predicted label set equals
+/// the true set exactly.
+pub fn exact_match_ratio(pred: &[Vec<bool>], truth: &[Vec<bool>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Partial Match Ratio: a prediction "is correct if it contains at least one
+/// correct class" — i.e. the predicted and true sets intersect. Samples
+/// where both sets are empty also count as correct (the dummy "no
+/// optimization" class agrees).
+pub fn partial_match_ratio(pred: &[Vec<bool>], truth: &[Vec<bool>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| {
+            let both_empty = !p.iter().any(|&b| b) && !t.iter().any(|&b| b);
+            both_empty || p.iter().zip(t.iter()).any(|(&a, &b)| a && b)
+        })
+        .count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Hamming loss: fraction of label slots predicted wrongly (lower is better).
+pub fn hamming_loss(pred: &[Vec<bool>], truth: &[Vec<bool>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    let mut wrong = 0usize;
+    let mut total = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        assert_eq!(p.len(), t.len(), "label width mismatch");
+        wrong += p.iter().zip(t).filter(|(a, b)| a != b).count();
+        total += p.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        wrong as f64 / total as f64
+    }
+}
+
+/// Per-label precision/recall/F1 summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabelScores {
+    /// True positives per label.
+    pub tp: Vec<usize>,
+    /// False positives per label.
+    pub fp: Vec<usize>,
+    /// False negatives per label.
+    pub fn_: Vec<usize>,
+}
+
+impl LabelScores {
+    /// Tallies confusion counts per label.
+    pub fn tally(pred: &[Vec<bool>], truth: &[Vec<bool>]) -> Self {
+        assert_eq!(pred.len(), truth.len());
+        let nlabels = pred.first().map_or(0, |p| p.len());
+        let (mut tp, mut fp, mut fn_) =
+            (vec![0usize; nlabels], vec![0usize; nlabels], vec![0usize; nlabels]);
+        for (p, t) in pred.iter().zip(truth) {
+            for l in 0..nlabels {
+                match (p[l], t[l]) {
+                    (true, true) => tp[l] += 1,
+                    (true, false) => fp[l] += 1,
+                    (false, true) => fn_[l] += 1,
+                    (false, false) => {}
+                }
+            }
+        }
+        Self { tp, fp, fn_ }
+    }
+
+    /// Precision of label `l` (1.0 when no positives predicted).
+    pub fn precision(&self, l: usize) -> f64 {
+        let denom = self.tp[l] + self.fp[l];
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp[l] as f64 / denom as f64
+        }
+    }
+
+    /// Recall of label `l` (1.0 when no true positives exist).
+    pub fn recall(&self, l: usize) -> f64 {
+        let denom = self.tp[l] + self.fn_[l];
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp[l] as f64 / denom as f64
+        }
+    }
+
+    /// F1 of label `l`.
+    pub fn f1(&self, l: usize) -> f64 {
+        let (p, r) = (self.precision(l), self.recall(l));
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: &[u8]) -> Vec<bool> {
+        v.iter().map(|&x| x != 0).collect()
+    }
+
+    #[test]
+    fn exact_match_counts_full_equality() {
+        let pred = vec![b(&[1, 0]), b(&[1, 1]), b(&[0, 0])];
+        let truth = vec![b(&[1, 0]), b(&[1, 0]), b(&[0, 0])];
+        assert!((exact_match_ratio(&pred, &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_match_counts_intersections() {
+        let pred = vec![b(&[1, 1]), b(&[0, 1]), b(&[0, 0])];
+        let truth = vec![b(&[1, 0]), b(&[1, 0]), b(&[0, 0])];
+        // Sample 0 intersects, sample 1 does not, sample 2 both-empty.
+        assert!((partial_match_ratio(&pred, &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_always_at_least_exact() {
+        let pred = vec![b(&[1, 1]), b(&[0, 1]), b(&[1, 0]), b(&[0, 0])];
+        let truth = vec![b(&[1, 0]), b(&[1, 1]), b(&[1, 0]), b(&[1, 0])];
+        assert!(partial_match_ratio(&pred, &truth) >= exact_match_ratio(&pred, &truth));
+    }
+
+    #[test]
+    fn hamming_loss_per_slot() {
+        let pred = vec![b(&[1, 0]), b(&[0, 0])];
+        let truth = vec![b(&[1, 1]), b(&[0, 0])];
+        assert!((hamming_loss(&pred, &truth) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_scores_confusion() {
+        let pred = vec![b(&[1]), b(&[1]), b(&[0])];
+        let truth = vec![b(&[1]), b(&[0]), b(&[1])];
+        let s = LabelScores::tally(&pred, &truth);
+        assert_eq!((s.tp[0], s.fp[0], s.fn_[0]), (1, 1, 1));
+        assert!((s.precision(0) - 0.5).abs() < 1e-12);
+        assert!((s.recall(0) - 0.5).abs() < 1e-12);
+        assert!((s.f1(0) - 0.5).abs() < 1e-12);
+    }
+}

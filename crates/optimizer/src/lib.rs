@@ -1,0 +1,24 @@
+//! # sparseopt-optimizer
+//!
+//! The adaptive SpMV optimizer: maps detected bottleneck classes to the
+//! Table II optimization pool, builds jointly-optimized kernels (real or
+//! modeled), and implements the comparison strategies of the paper's
+//! evaluation — trivial single/combined sweeps, the oracle, vendor-like MKL
+//! and Inspector-Executor baselines, and the Table V amortization analysis.
+
+pub mod amortization;
+pub mod optimizers;
+pub mod pool;
+
+pub use amortization::{
+    amortization_iters, plan_conversion_cost_spmv, summarize, AmortizationRow, OptimizerKind,
+    JIT_COST_SPMV, TRIAL_ITERS,
+};
+pub use optimizers::{
+    inspector_executor_host_kernel, inspector_executor_sim_config, mkl_host_kernel,
+    mkl_sim_config, AdaptiveOptimizer, MatrixEvaluation, OptimizedKernel, SimOptimizerStudy,
+};
+pub use pool::{
+    select_optimizations, single_and_pair_plans, single_plans, Optimization, OptimizationPlan,
+    LONG_ROW_FACTOR, LONG_ROW_SKEW,
+};

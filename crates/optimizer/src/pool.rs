@@ -1,0 +1,345 @@
+//! The optimization pool — Table II of the paper.
+//!
+//! | class | optimization |
+//! |---|---|
+//! | MB | column-index delta compression + vectorization |
+//! | ML | software prefetching on `x` |
+//! | IMB | matrix decomposition *or* OpenMP-style auto scheduling |
+//! | CMP | inner-loop unrolling + vectorization |
+//!
+//! When several bottlenecks are detected the optimizations are applied
+//! jointly. The IMB subcategory choice follows Section III-E: highly uneven
+//! row lengths (detected via `nnz_max` vs `nnz_avg`) ⇒ decomposition;
+//! computational unevenness (detected via `bw_sd`) ⇒ auto scheduling.
+
+use sparseopt_classifier::{Bottleneck, ClassSet};
+use sparseopt_core::prelude::*;
+use sparseopt_core::CsrKernelConfig;
+use sparseopt_matrix::MatrixFeatures;
+use sparseopt_sim::{SimFormat, SimKernelConfig};
+use std::sync::Arc;
+
+/// An individual optimization from the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Optimization {
+    /// Delta-compress column indices + vectorize (MB).
+    CompressVectorize,
+    /// Software prefetching on `x` (ML).
+    Prefetch,
+    /// Split out long rows (IMB, uneven row lengths).
+    Decompose,
+    /// Delegate scheduling to the runtime heuristic (IMB, uneven regions).
+    AutoSchedule,
+    /// Unroll + vectorize the inner loop (CMP).
+    UnrollVectorize,
+}
+
+impl Optimization {
+    /// All pool members (the paper's "total of 5").
+    pub const ALL: [Optimization; 5] = [
+        Optimization::CompressVectorize,
+        Optimization::Prefetch,
+        Optimization::Decompose,
+        Optimization::AutoSchedule,
+        Optimization::UnrollVectorize,
+    ];
+
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Optimization::CompressVectorize => "compress+vec",
+            Optimization::Prefetch => "prefetch",
+            Optimization::Decompose => "decompose",
+            Optimization::AutoSchedule => "auto-sched",
+            Optimization::UnrollVectorize => "unroll+vec",
+        }
+    }
+
+    /// The class this optimization addresses (Table II row).
+    pub fn target_class(self) -> Bottleneck {
+        match self {
+            Optimization::CompressVectorize => Bottleneck::Mb,
+            Optimization::Prefetch => Bottleneck::Ml,
+            Optimization::Decompose | Optimization::AutoSchedule => Bottleneck::Imb,
+            Optimization::UnrollVectorize => Bottleneck::Cmp,
+        }
+    }
+}
+
+/// Row-length skew factor above which the IMB optimization decomposes rather
+/// than reschedules (`nnz_max > LONG_ROW_SKEW · nnz_avg`).
+pub const LONG_ROW_SKEW: f64 = 16.0;
+
+/// Long-row threshold factor handed to the decomposition
+/// (`threshold = LONG_ROW_FACTOR · nnz_avg`).
+pub const LONG_ROW_FACTOR: f64 = 4.0;
+
+/// Minimum average row length for the vectorized inner loop to pay off:
+/// below this, gather setup and remainder handling dominate and the JIT
+/// emits the unrolled scalar loop instead (the paper's codegen decides
+/// per matrix; blind vectorization of short rows is a Fig. 1 slowdown).
+pub const VECTOR_MIN_AVG_ROW: f64 = 8.0;
+
+/// Maps a detected class set to the jointly applied optimizations,
+/// using features to disambiguate the IMB subcategory.
+pub fn select_optimizations(classes: ClassSet, features: &MatrixFeatures) -> Vec<Optimization> {
+    let mut opts = Vec::new();
+    if classes.contains(Bottleneck::Mb) {
+        opts.push(Optimization::CompressVectorize);
+    }
+    if classes.contains(Bottleneck::Ml) {
+        opts.push(Optimization::Prefetch);
+    }
+    if classes.contains(Bottleneck::Imb) {
+        if features.nnz_max > LONG_ROW_SKEW * features.nnz_avg.max(1e-12) {
+            opts.push(Optimization::Decompose);
+        } else {
+            opts.push(Optimization::AutoSchedule);
+        }
+    }
+    if classes.contains(Bottleneck::Cmp) {
+        opts.push(Optimization::UnrollVectorize);
+    }
+    opts
+}
+
+/// A concrete, jointly-applied optimization plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimizationPlan {
+    /// Detected classes this plan addresses.
+    pub classes: ClassSet,
+    /// The pool members applied.
+    pub optimizations: Vec<Optimization>,
+    /// Long-row threshold when decomposition participates.
+    pub decompose_threshold: Option<usize>,
+    /// Inner-loop flavor the "vectorization" optimizations resolve to for
+    /// this matrix (SIMD for long rows, unrolled for short ones).
+    pub inner: InnerLoop,
+}
+
+impl OptimizationPlan {
+    /// Builds the plan for a class set (Table II composition rules).
+    pub fn from_classes(classes: ClassSet, features: &MatrixFeatures) -> Self {
+        let optimizations = select_optimizations(classes, features);
+        Self::assemble(classes, optimizations, features)
+    }
+
+    /// Shared constructor: resolves the threshold and inner-loop choices.
+    fn assemble(
+        classes: ClassSet,
+        optimizations: Vec<Optimization>,
+        features: &MatrixFeatures,
+    ) -> Self {
+        let decompose_threshold = optimizations
+            .contains(&Optimization::Decompose)
+            .then(|| ((features.nnz_avg * LONG_ROW_FACTOR).ceil() as usize).max(8));
+        let wants_vector = optimizations.iter().any(|o| {
+            matches!(o, Optimization::CompressVectorize | Optimization::UnrollVectorize)
+        });
+        let inner = if !wants_vector {
+            InnerLoop::Scalar
+        } else if features.nnz_avg >= VECTOR_MIN_AVG_ROW {
+            InnerLoop::Simd
+        } else {
+            InnerLoop::Unrolled4
+        };
+        Self { classes, optimizations, decompose_threshold, inner }
+    }
+
+    /// The explicit no-op plan (baseline kernel).
+    pub fn baseline() -> Self {
+        Self {
+            classes: ClassSet::EMPTY,
+            optimizations: Vec::new(),
+            decompose_threshold: None,
+            inner: InnerLoop::Scalar,
+        }
+    }
+
+    /// Builds a plan for an explicit optimization combination (used by the
+    /// trivial optimizers and the oracle sweep).
+    pub fn from_optimizations(opts: &[Optimization], features: &MatrixFeatures) -> Self {
+        let mut classes = ClassSet::EMPTY;
+        for o in opts {
+            classes.insert(o.target_class());
+        }
+        Self::assemble(classes, opts.to_vec(), features)
+    }
+
+    /// True when this plan changes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.optimizations.is_empty()
+    }
+
+    /// The modeled kernel configuration for the simulator.
+    pub fn to_sim_config(&self) -> SimKernelConfig {
+        let has = |o: Optimization| self.optimizations.contains(&o);
+        let format = if let Some(t) = self.decompose_threshold {
+            SimFormat::Decomposed { threshold: t }
+        } else if has(Optimization::CompressVectorize) {
+            SimFormat::DeltaCsr
+        } else {
+            SimFormat::Csr
+        };
+        let schedule = if has(Optimization::AutoSchedule) {
+            Schedule::Auto
+        } else {
+            Schedule::StaticNnz
+        };
+        SimKernelConfig {
+            format,
+            inner: self.inner,
+            prefetch: has(Optimization::Prefetch),
+            schedule,
+        }
+    }
+
+    /// Builds the real, runnable kernel implementing the plan on the host.
+    /// Precedence when format-changing optimizations collide: decomposition
+    /// wins over compression (a decomposed matrix keeps plain indices).
+    pub fn build_host_kernel(
+        &self,
+        csr: &Arc<CsrMatrix>,
+        ctx: Arc<ExecCtx>,
+    ) -> Box<dyn SpmvKernel> {
+        let has = |o: Optimization| self.optimizations.contains(&o);
+        let inner = self.inner;
+        let prefetch = has(Optimization::Prefetch);
+        let schedule = if has(Optimization::AutoSchedule) {
+            Schedule::Auto
+        } else {
+            Schedule::StaticNnz
+        };
+
+        if let Some(threshold) = self.decompose_threshold {
+            let dec = Arc::new(DecomposedCsrMatrix::from_csr(csr, threshold));
+            Box::new(DecomposedKernel::new(dec, inner, prefetch, schedule, ctx))
+        } else if has(Optimization::CompressVectorize) {
+            let delta = Arc::new(DeltaCsrMatrix::from_csr(csr));
+            Box::new(DeltaKernel::new(delta, inner, prefetch, schedule, ctx))
+        } else {
+            let cfg = CsrKernelConfig { inner, prefetch, schedule };
+            Box::new(ParallelCsr::new(csr.clone(), cfg, ctx))
+        }
+    }
+
+    /// Display string, e.g. `prefetch+decompose`.
+    pub fn label(&self) -> String {
+        if self.is_noop() {
+            return "baseline".into();
+        }
+        self.optimizations.iter().map(|o| o.label()).collect::<Vec<_>>().join("+")
+    }
+}
+
+/// All 5 single-optimization plans (the paper's trivial-single sweep).
+pub fn single_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
+    Optimization::ALL
+        .iter()
+        .map(|&o| OptimizationPlan::from_optimizations(&[o], features))
+        .collect()
+}
+
+/// All C(5,2) = 10 pairs, totaling 15 plans with the singles (the paper's
+/// trivial-combined sweep: "combinations of 2 (total of 15)").
+pub fn single_and_pair_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
+    let mut plans = single_plans(features);
+    let all = Optimization::ALL;
+    for i in 0..all.len() {
+        for j in i + 1..all.len() {
+            // Decompose + AutoSchedule are alternatives for the same class;
+            // their pair is still enumerated (the trivial optimizer is blind).
+            plans.push(OptimizationPlan::from_optimizations(&[all[i], all[j]], features));
+        }
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseopt_matrix::generators as g;
+
+    const LLC: usize = 32 * 1024 * 1024;
+
+    fn feats(csr: &CsrMatrix) -> MatrixFeatures {
+        MatrixFeatures::extract(csr, LLC)
+    }
+
+    #[test]
+    fn table2_mapping() {
+        let m = CsrMatrix::from_coo(&g::banded(500, 2));
+        let f = feats(&m);
+        let one = |c| select_optimizations(ClassSet::from_classes(&[c]), &f);
+        assert_eq!(one(Bottleneck::Mb), vec![Optimization::CompressVectorize]);
+        assert_eq!(one(Bottleneck::Ml), vec![Optimization::Prefetch]);
+        assert_eq!(one(Bottleneck::Cmp), vec![Optimization::UnrollVectorize]);
+        // Regular row lengths: IMB resolves to auto scheduling.
+        assert_eq!(one(Bottleneck::Imb), vec![Optimization::AutoSchedule]);
+    }
+
+    #[test]
+    fn imb_decomposes_on_skewed_rows() {
+        let m = CsrMatrix::from_coo(&g::few_dense_rows(3000, 2, 3, 1));
+        let f = feats(&m);
+        let opts = select_optimizations(ClassSet::from_classes(&[Bottleneck::Imb]), &f);
+        assert_eq!(opts, vec![Optimization::Decompose]);
+        let plan = OptimizationPlan::from_classes(ClassSet::from_classes(&[Bottleneck::Imb]), &f);
+        assert!(plan.decompose_threshold.is_some());
+    }
+
+    #[test]
+    fn joint_plan_composes() {
+        let m = CsrMatrix::from_coo(&g::random_uniform(2000, 6, 3));
+        let f = feats(&m);
+        let classes = ClassSet::from_classes(&[Bottleneck::Ml, Bottleneck::Imb]);
+        let plan = OptimizationPlan::from_classes(classes, &f);
+        assert_eq!(plan.optimizations.len(), 2);
+        let cfg = plan.to_sim_config();
+        assert!(cfg.prefetch);
+        assert_eq!(cfg.schedule, Schedule::Auto);
+    }
+
+    #[test]
+    fn plan_counts_match_paper() {
+        let m = CsrMatrix::from_coo(&g::banded(300, 1));
+        let f = feats(&m);
+        assert_eq!(single_plans(&f).len(), 5);
+        assert_eq!(single_and_pair_plans(&f).len(), 15);
+    }
+
+    #[test]
+    fn host_kernels_all_compute_correctly() {
+        let csr = Arc::new(CsrMatrix::from_coo(&g::few_dense_rows(400, 3, 2, 9)));
+        let f = feats(&csr);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut reference = vec![0.0; 400];
+        SerialCsr::new(csr.clone()).spmv(&x, &mut reference);
+
+        let ctx = ExecCtx::new(3);
+        for plan in single_and_pair_plans(&f) {
+            let k = plan.build_host_kernel(&csr, ctx.clone());
+            let mut y = vec![f64::NAN; 400];
+            k.spmv(&x, &mut y);
+            for (i, (a, b)) in y.iter().zip(&reference).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                    "row {i} mismatch under plan {}",
+                    plan.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let m = CsrMatrix::from_coo(&g::banded(300, 1));
+        let f = feats(&m);
+        let plan = OptimizationPlan::from_optimizations(
+            &[Optimization::Prefetch, Optimization::UnrollVectorize],
+            &f,
+        );
+        assert_eq!(plan.label(), "prefetch+unroll+vec");
+        assert_eq!(OptimizationPlan::baseline().label(), "baseline");
+    }
+}

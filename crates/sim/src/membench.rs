@@ -1,0 +1,88 @@
+//! Host micro-benchmarks: STREAM-triad bandwidth and a platform descriptor
+//! estimated from the running machine.
+//!
+//! The paper's profile-guided classifier needs `B_max`, "the maximum
+//! sustainable memory bandwidth of the system", measured with STREAM
+//! (Table III cites McCalpin). [`stream_triad_gbs`] reproduces the triad
+//! kernel `a[i] = b[i] + s·c[i]`; [`host_platform`] wraps the measurement in
+//! a [`Platform`] so the whole pipeline can also run against the actual host
+//! instead of a modeled testbed.
+
+use crate::platform::Platform;
+use std::time::Instant;
+
+/// Measures STREAM-triad bandwidth in GB/s over arrays of `n` doubles,
+/// taking the best of `reps` trials (STREAM's convention).
+pub fn stream_triad_gbs(n: usize, reps: usize) -> f64 {
+    assert!(n >= 1024, "array too small for a meaningful measurement");
+    let b = vec![1.0f64; n];
+    let c = vec![2.0f64; n];
+    let mut a = vec![0.0f64; n];
+    let s = 3.0f64;
+
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        for i in 0..n {
+            a[i] = b[i] + s * c[i];
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        // Keep the result observable so the loop cannot be elided.
+        std::hint::black_box(&a);
+        best = best.min(dt);
+    }
+    // Triad moves 3 arrays of 8-byte doubles per iteration.
+    (3 * n * 8) as f64 / best / 1e9
+}
+
+/// Estimates a [`Platform`] descriptor for the running host: measured triad
+/// bandwidth for main memory and an L2-resident working set, detected
+/// parallelism, and conservative defaults for the cost parameters.
+pub fn host_platform() -> Platform {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // 64 MiB working set for main memory; 128 KiB for cache-resident.
+    let bw_main = stream_triad_gbs(8 * 1024 * 1024, 3);
+    let bw_llc = stream_triad_gbs(16 * 1024, 20).max(bw_main);
+    Platform {
+        name: "host".into(),
+        freq_ghz: 2.0,
+        cores: threads,
+        threads_per_core: 1,
+        l1d_bytes: 32 * 1024,
+        l2_per_core_bytes: 512 * 1024,
+        llc_shared_bytes: 8 * 1024 * 1024,
+        cache_line: 64,
+        simd_f64_lanes: if sparseopt_core::util::simd_available() { 4 } else { 1 },
+        bw_main_gbs: bw_main,
+        bw_llc_gbs: bw_llc,
+        mem_latency_ns: 100.0,
+        latency_overlap: 0.7,
+        cpe_scalar: 1.2,
+        cpe_unrolled: 0.8,
+        cpe_simd: 0.6,
+        row_overhead_cycles: 8.0,
+        prefetch_cost_cpe: 0.2,
+        prefetch_effectiveness: 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_reports_positive_bandwidth() {
+        let gbs = stream_triad_gbs(64 * 1024, 2);
+        assert!(gbs > 0.01, "measured {gbs} GB/s");
+        assert!(gbs < 10_000.0, "implausible bandwidth {gbs}");
+    }
+
+    #[test]
+    fn host_platform_is_sane() {
+        let p = host_platform();
+        assert!(p.cores >= 1);
+        assert!(p.bw_main_gbs > 0.0);
+        assert!(p.bw_llc_gbs >= p.bw_main_gbs);
+        assert!(p.total_cache_bytes() > 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Roofline model utilities (Williams, Waterman & Patterson), the analytical
+//! frame the paper's bound-and-bottleneck analysis is "inspired by"
+//! (Section II and III-B): attainable performance is
+//! `min(peak_compute, intensity × bandwidth)`, and SpMV's low flop:byte
+//! ratio pins it left of the ridge point on most machines.
+
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+use sparseopt_core::csr::CsrMatrix;
+
+/// A point on (or under) the roofline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Operational intensity, flops per byte of memory traffic.
+    pub intensity: f64,
+    /// Attainable performance at that intensity, Gflop/s.
+    pub attainable_gflops: f64,
+    /// True when the point sits on the slanted (bandwidth) part of the roof.
+    pub bandwidth_bound: bool,
+}
+
+/// The roofline of one platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Roofline {
+    /// Peak floating-point throughput, Gflop/s.
+    pub peak_gflops: f64,
+    /// Sustainable memory bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl Roofline {
+    /// Builds the vector-peak roofline of a platform: all cores issuing one
+    /// fused multiply-add per SIMD lane per `cpe_simd` cycles.
+    pub fn for_platform(p: &Platform) -> Self {
+        let elems_per_sec = p.cores as f64 * p.freq_ghz * 1e9 / p.cpe_simd;
+        Self {
+            peak_gflops: 2.0 * elems_per_sec / 1e9,
+            bandwidth_gbs: p.bw_main_gbs,
+        }
+    }
+
+    /// Roofline with the cache-resident bandwidth instead of main memory.
+    pub fn for_platform_llc(p: &Platform) -> Self {
+        Self { bandwidth_gbs: p.bw_llc_gbs, ..Self::for_platform(p) }
+    }
+
+    /// The ridge point: the intensity (flop/byte) where the bandwidth slant
+    /// meets the compute roof. Kernels left of it are memory bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops / self.bandwidth_gbs
+    }
+
+    /// Attainable performance at an operational intensity.
+    pub fn attainable(&self, intensity: f64) -> RooflinePoint {
+        let bw_roof = intensity * self.bandwidth_gbs;
+        let bandwidth_bound = bw_roof < self.peak_gflops;
+        RooflinePoint {
+            intensity,
+            attainable_gflops: bw_roof.min(self.peak_gflops),
+            bandwidth_bound,
+        }
+    }
+
+    /// Sampled roof for plotting: `n` log-spaced intensities in
+    /// `[lo, hi]` flop/byte.
+    pub fn sample(&self, lo: f64, hi: f64, n: usize) -> Vec<RooflinePoint> {
+        assert!(lo > 0.0 && hi > lo && n >= 2, "invalid sampling range");
+        let step = (hi / lo).powf(1.0 / (n - 1) as f64);
+        let mut x = lo;
+        (0..n)
+            .map(|_| {
+                let p = self.attainable(x);
+                x *= step;
+                p
+            })
+            .collect()
+    }
+}
+
+/// Operational intensity of CSR SpMV for a concrete matrix, using the
+/// paper's compulsory-traffic accounting: `2·NNZ` flops over the format
+/// footprint plus the `x`/`y` vectors.
+pub fn spmv_intensity(csr: &CsrMatrix) -> f64 {
+    let flops = 2.0 * csr.nnz() as f64;
+    let bytes = (csr.footprint_bytes() + (csr.ncols() + csr.nrows()) * 8) as f64;
+    if bytes == 0.0 {
+        0.0
+    } else {
+        flops / bytes
+    }
+}
+
+/// SpMV intensity if the indexing structures compressed away entirely
+/// (the `P_peak` accounting).
+pub fn spmv_intensity_values_only(csr: &CsrMatrix) -> f64 {
+    let flops = 2.0 * csr.nnz() as f64;
+    let bytes = (csr.values_bytes() + (csr.ncols() + csr.nrows()) * 8) as f64;
+    if bytes == 0.0 {
+        0.0
+    } else {
+        flops / bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseopt_core::coo::CooMatrix;
+
+    fn toy(n: usize, per_row: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..per_row {
+                coo.push(i, (i + j) % n, 1.0);
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn spmv_sits_left_of_the_ridge_on_all_platforms() {
+        // The paper's premise: SpMV's flop:byte ratio is below every
+        // platform's ridge point, i.e. memory bound at the roofline level.
+        let csr = toy(5000, 8);
+        let i = spmv_intensity(&csr);
+        assert!(i < 0.2, "CSR SpMV intensity must be < 1 flop per 5 bytes, got {i}");
+        for p in Platform::paper_platforms() {
+            let roof = Roofline::for_platform(&p);
+            assert!(
+                i < roof.ridge_intensity(),
+                "{}: SpMV ({i:.3}) must sit left of the ridge ({:.3})",
+                p.name,
+                roof.ridge_intensity()
+            );
+            assert!(roof.attainable(i).bandwidth_bound);
+        }
+    }
+
+    #[test]
+    fn intensity_improves_without_indices() {
+        let csr = toy(1000, 6);
+        assert!(spmv_intensity_values_only(&csr) > spmv_intensity(&csr));
+    }
+
+    #[test]
+    fn roof_is_monotone_then_flat() {
+        let roof = Roofline { peak_gflops: 100.0, bandwidth_gbs: 50.0 };
+        assert_eq!(roof.ridge_intensity(), 2.0);
+        assert_eq!(roof.attainable(1.0).attainable_gflops, 50.0);
+        assert!(roof.attainable(1.0).bandwidth_bound);
+        assert_eq!(roof.attainable(4.0).attainable_gflops, 100.0);
+        assert!(!roof.attainable(4.0).bandwidth_bound);
+    }
+
+    #[test]
+    fn sampling_covers_range_monotonically() {
+        let roof = Roofline { peak_gflops: 10.0, bandwidth_gbs: 10.0 };
+        let pts = roof.sample(0.01, 100.0, 20);
+        assert_eq!(pts.len(), 20);
+        assert!((pts[0].intensity - 0.01).abs() < 1e-9);
+        assert!((pts[19].intensity - 100.0).abs() < 1e-6);
+        for w in pts.windows(2) {
+            assert!(w[1].attainable_gflops >= w[0].attainable_gflops);
+        }
+    }
+
+    #[test]
+    fn llc_roofline_dominates_main_memory() {
+        for p in Platform::paper_platforms() {
+            let main = Roofline::for_platform(&p);
+            let llc = Roofline::for_platform_llc(&p);
+            assert!(llc.bandwidth_gbs >= main.bandwidth_gbs);
+            assert!(llc.ridge_intensity() <= main.ridge_intensity());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Dense vector kernels (level-1 BLAS) used by the Krylov solvers.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    // Four accumulators: same dependency-breaking the SpMV kernels use.
+    let n = x.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let k = i * 4;
+        s0 += x[k] * y[k];
+        s1 += x[k + 1] * y[k + 1];
+        s2 += x[k + 2] * y[k + 2];
+        s3 += x[k + 3] * y[k + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for k in chunks * 4..n {
+        s += x[k] * y[k];
+    }
+    s
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← x + b·y` (the CG direction update).
+#[inline]
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Elementwise `z ← x ⊘ d` (Jacobi application).
+#[inline]
+pub fn elementwise_div(x: &[f64], d: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), d.len(), "div length mismatch");
+    assert_eq!(x.len(), z.len(), "div length mismatch");
+    for ((zi, &xi), &di) in z.iter_mut().zip(x).zip(d) {
+        *zi = xi / di;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..17).map(|i| (i as f64) * 0.5).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0]);
+    }
+
+    #[test]
+    fn scale_and_div() {
+        let mut x = [2.0, 4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [1.0, 2.0]);
+        let d = [2.0, 4.0];
+        let mut z = [0.0, 0.0];
+        elementwise_div(&[4.0, 8.0], &d, &mut z);
+        assert_eq!(z, [2.0, 2.0]);
+    }
+}

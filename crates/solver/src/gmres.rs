@@ -1,0 +1,301 @@
+//! Restarted GMRES(m) with Givens rotations — the paper's other
+//! representative solver family (Section IV-D mentions GMRES variants).
+
+use crate::blas::{dot, norm2, scale};
+use crate::precond::Preconditioner;
+use crate::{SolveOutcome, SolverOptions};
+use sparseopt_core::kernels::SpmvKernel;
+
+/// Solves `A x = b` via left-preconditioned restarted GMRES(m).
+/// `x` holds the initial guess on entry and the solution on exit.
+///
+/// # Panics
+/// Panics if the operator is not square, vector lengths disagree, or
+/// `restart == 0`.
+pub fn gmres(
+    a: &dyn SpmvKernel,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &dyn Preconditioner,
+    restart: usize,
+    opts: &SolverOptions,
+) -> SolveOutcome {
+    let (nrows, ncols) = a.shape();
+    assert_eq!(nrows, ncols, "GMRES needs a square operator");
+    assert_eq!(b.len(), nrows, "b length mismatch");
+    assert_eq!(x.len(), nrows, "x length mismatch");
+    assert!(restart > 0, "restart length must be positive");
+    let n = nrows;
+    let m = restart;
+
+    let mut pb = vec![0.0; n];
+    precond.apply(b, &mut pb);
+    let bnorm = norm2(&pb).max(f64::MIN_POSITIVE);
+
+    let mut spmv_calls = 0usize;
+    let mut total_iters = 0usize;
+    let mut tmp = vec![0.0; n];
+    let mut r = vec![0.0; n];
+
+    loop {
+        // r = M⁻¹ (b − A x)
+        a.spmv(x, &mut tmp);
+        spmv_calls += 1;
+        let mut raw = vec![0.0; n];
+        for i in 0..n {
+            raw[i] = b[i] - tmp[i];
+        }
+        precond.apply(&raw, &mut r);
+        let beta = norm2(&r);
+        let rel0 = beta / bnorm;
+        if rel0 <= opts.tol {
+            return SolveOutcome::converged(total_iters, rel0, spmv_calls);
+        }
+        if total_iters >= opts.max_iters {
+            return SolveOutcome::not_converged(total_iters, rel0, spmv_calls);
+        }
+
+        // Arnoldi basis V and Hessenberg H (column major, (m+1) × m).
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut v0 = r.clone();
+        scale(1.0 / beta, &mut v0);
+        v.push(v0);
+        let mut h = vec![vec![0.0f64; m]; m + 1];
+        // Givens rotation state.
+        let (mut cs, mut sn) = (vec![0.0f64; m], vec![0.0f64; m]);
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+
+        let mut k_used = 0usize;
+        let mut converged = false;
+        for k in 0..m {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            total_iters += 1;
+            // w = M⁻¹ A v_k
+            a.spmv(&v[k], &mut tmp);
+            spmv_calls += 1;
+            let mut w = vec![0.0; n];
+            precond.apply(&tmp, &mut w);
+
+            // Modified Gram-Schmidt.
+            for j in 0..=k {
+                h[j][k] = dot(&w, &v[j]);
+                for i in 0..n {
+                    w[i] -= h[j][k] * v[j][i];
+                }
+            }
+            h[k + 1][k] = norm2(&w);
+            k_used = k + 1;
+            if h[k + 1][k] > 1e-300 {
+                scale(1.0 / h[k + 1][k], &mut w);
+                v.push(w);
+            } else {
+                // Lucky breakdown: exact solution in this Krylov space.
+                apply_givens_column(&mut h, &mut cs, &mut sn, &mut g, k);
+                converged = true;
+                break;
+            }
+
+            apply_givens_column(&mut h, &mut cs, &mut sn, &mut g, k);
+            let rel = g[k + 1].abs() / bnorm;
+            if rel <= opts.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Solve the triangular system H y = g and update x.
+        if k_used > 0 {
+            let mut y = vec![0.0f64; k_used];
+            for i in (0..k_used).rev() {
+                let mut s = g[i];
+                for j in i + 1..k_used {
+                    s -= h[i][j] * y[j];
+                }
+                y[i] = if h[i][i].abs() > 1e-300 { s / h[i][i] } else { 0.0 };
+            }
+            for (j, &yj) in y.iter().enumerate() {
+                for i in 0..n {
+                    x[i] += yj * v[j][i];
+                }
+            }
+        }
+
+        if converged {
+            // Recompute the true residual for the report.
+            a.spmv(x, &mut tmp);
+            spmv_calls += 1;
+            let mut raw = vec![0.0; n];
+            for i in 0..n {
+                raw[i] = b[i] - tmp[i];
+            }
+            precond.apply(&raw, &mut r);
+            let rel = norm2(&r) / bnorm;
+            if rel <= opts.tol * 10.0 {
+                return SolveOutcome::converged(total_iters, rel, spmv_calls);
+            }
+            // Otherwise restart and keep going.
+        }
+        if total_iters >= opts.max_iters {
+            a.spmv(x, &mut tmp);
+            spmv_calls += 1;
+            let mut raw = vec![0.0; n];
+            for i in 0..n {
+                raw[i] = b[i] - tmp[i];
+            }
+            precond.apply(&raw, &mut r);
+            return SolveOutcome::not_converged(total_iters, norm2(&r) / bnorm, spmv_calls);
+        }
+    }
+}
+
+/// Applies the stored Givens rotations to column `k` of `H`, generates the
+/// new rotation killing `H[k+1][k]`, and updates the RHS `g`.
+fn apply_givens_column(
+    h: &mut [Vec<f64>],
+    cs: &mut [f64],
+    sn: &mut [f64],
+    g: &mut [f64],
+    k: usize,
+) {
+    for j in 0..k {
+        let t = cs[j] * h[j][k] + sn[j] * h[j + 1][k];
+        h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
+        h[j][k] = t;
+    }
+    let (a, b) = (h[k][k], h[k + 1][k]);
+    let r = (a * a + b * b).sqrt();
+    if r < 1e-300 {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+    } else {
+        cs[k] = a / r;
+        sn[k] = b / r;
+    }
+    h[k][k] = cs[k] * a + sn[k] * b;
+    h[k + 1][k] = 0.0;
+    let t = cs[k] * g[k];
+    g[k + 1] = -sn[k] * g[k];
+    g[k] = t;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPrecond, JacobiPrecond};
+    use sparseopt_core::prelude::*;
+    use sparseopt_core::coo::CooMatrix;
+    use sparseopt_matrix::generators as g;
+    use std::sync::Arc;
+
+    fn nonsym(n: usize) -> Arc<CsrMatrix> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 5.0);
+            if i > 0 {
+                coo.push(i, i - 1, -2.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+            if i + 7 < n {
+                coo.push(i, i + 7, 0.3);
+            }
+        }
+        Arc::new(CsrMatrix::from_coo(&coo))
+    }
+
+    fn residual(a: &dyn SpmvKernel, b: &[f64], x: &[f64]) -> f64 {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(x, &mut ax);
+        b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn solves_nonsymmetric_with_restart() {
+        let a = nonsym(300);
+        let kernel = SerialCsr::new(a.clone());
+        let b = vec![1.0; 300];
+        let mut x = vec![0.0; 300];
+        let out = gmres(
+            &kernel,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            30,
+            &SolverOptions { tol: 1e-10, max_iters: 600 },
+        );
+        assert!(out.converged, "{out:?}");
+        assert!(residual(&kernel, &b, &x) < 1e-6);
+    }
+
+    #[test]
+    fn small_restart_still_converges_on_dominant_system() {
+        let a = nonsym(200);
+        let kernel = SerialCsr::new(a.clone());
+        let b: Vec<f64> = (0..200).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut x = vec![0.0; 200];
+        let out = gmres(
+            &kernel,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            5,
+            &SolverOptions { tol: 1e-9, max_iters: 2000 },
+        );
+        assert!(out.converged, "{out:?}");
+        assert!(residual(&kernel, &b, &x) < 1e-5);
+    }
+
+    #[test]
+    fn matches_cg_on_spd_problem() {
+        let a = Arc::new(CsrMatrix::from_coo(&g::poisson2d(12, 12)));
+        let kernel = SerialCsr::new(a.clone());
+        let n = a.nrows();
+        let b = vec![1.0; n];
+
+        let mut x_gmres = vec![0.0; n];
+        let out = gmres(
+            &kernel,
+            &b,
+            &mut x_gmres,
+            &IdentityPrecond,
+            50,
+            &SolverOptions { tol: 1e-12, max_iters: 2000 },
+        );
+        assert!(out.converged);
+
+        let mut x_cg = vec![0.0; n];
+        let out2 = crate::cg::cg(
+            &kernel,
+            &b,
+            &mut x_cg,
+            &IdentityPrecond,
+            &SolverOptions { tol: 1e-12, max_iters: 2000 },
+        );
+        assert!(out2.converged);
+        for (a1, a2) in x_gmres.iter().zip(&x_cg) {
+            assert!((a1 - a2).abs() < 1e-6, "{a1} vs {a2}");
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioned_gmres() {
+        let a = nonsym(150);
+        let kernel = SerialCsr::new(a.clone());
+        let b = vec![2.0; 150];
+        let mut x = vec![0.0; 150];
+        let out = gmres(
+            &kernel,
+            &b,
+            &mut x,
+            &JacobiPrecond::new(&a),
+            20,
+            &SolverOptions { tol: 1e-10, max_iters: 1000 },
+        );
+        assert!(out.converged);
+        assert!(residual(&kernel, &b, &x) < 1e-5);
+    }
+}

@@ -1,0 +1,64 @@
+//! # sparseopt-solver
+//!
+//! Krylov iterative solvers over any [`sparseopt_core::kernels::SpmvKernel`]:
+//! preconditioned CG, BiCGSTAB, and restarted GMRES(m), with identity and
+//! Jacobi preconditioners. These are the SpMV consumers the paper's
+//! amortization analysis (Table V) is framed around — "iterative methods for
+//! the solution of large sparse linear systems ... repeatedly call SpMV".
+
+pub mod bicgstab;
+pub mod blas;
+pub mod cg;
+pub mod eigen;
+pub mod gmres;
+pub mod precond;
+
+pub use bicgstab::bicgstab;
+pub use cg::cg;
+pub use eigen::{power_method, spd_condition_estimate, EigenOutcome};
+pub use gmres::gmres;
+pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
+
+/// Iteration controls shared by all solvers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolverOptions {
+    /// Relative residual tolerance `‖r‖ / ‖b‖`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self { tol: 1e-10, max_iters: 1000 }
+    }
+}
+
+/// Result of a solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveOutcome {
+    /// True when the tolerance was met.
+    pub converged: bool,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// Total SpMV invocations (the quantity amortization counts).
+    pub spmv_calls: usize,
+    /// True when the method broke down numerically.
+    pub breakdown: bool,
+}
+
+impl SolveOutcome {
+    pub(crate) fn converged(iterations: usize, rel: f64, spmv_calls: usize) -> Self {
+        Self { converged: true, iterations, relative_residual: rel, spmv_calls, breakdown: false }
+    }
+
+    pub(crate) fn not_converged(iterations: usize, rel: f64, spmv_calls: usize) -> Self {
+        Self { converged: false, iterations, relative_residual: rel, spmv_calls, breakdown: false }
+    }
+
+    pub(crate) fn broke_down(iterations: usize, rel: f64, spmv_calls: usize) -> Self {
+        Self { converged: false, iterations, relative_residual: rel, spmv_calls, breakdown: true }
+    }
+}

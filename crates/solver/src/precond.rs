@@ -1,0 +1,99 @@
+//! Preconditioners. The paper motivates the lightweight optimizer with
+//! "preconditioned solvers [where] the number of iterations may be
+//! significantly smaller" (Section IV-D); Jacobi is the representative
+//! preconditioner here.
+
+use sparseopt_core::csr::CsrMatrix;
+
+/// A left preconditioner `M⁻¹` applied as `z = M⁻¹ r`.
+pub trait Preconditioner: Send + Sync {
+    /// Applies `z ← M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// The identity preconditioner (unpreconditioned solve).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// Jacobi (diagonal) preconditioner: `z_i = r_i / a_ii`.
+#[derive(Clone, Debug)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Builds from the matrix diagonal.
+    ///
+    /// # Panics
+    /// Panics if any diagonal entry is exactly zero.
+    pub fn new(csr: &CsrMatrix) -> Self {
+        let diag = csr.diagonal();
+        assert!(
+            diag.iter().all(|&d| d != 0.0),
+            "Jacobi preconditioner requires a zero-free diagonal"
+        );
+        Self { inv_diag: diag.iter().map(|&d| 1.0 / d).collect() }
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.inv_diag.len(), "dimension mismatch");
+        for ((zi, &ri), &mi) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * mi;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseopt_core::coo::CooMatrix;
+
+    #[test]
+    fn identity_copies() {
+        let r = [1.0, -2.0];
+        let mut z = [0.0; 2];
+        IdentityPrecond.apply(&r, &mut z);
+        assert_eq!(z, r);
+    }
+
+    #[test]
+    fn jacobi_divides_by_diagonal() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 4.0);
+        coo.push(0, 1, 9.0);
+        let m = CsrMatrix::from_coo(&coo);
+        let p = JacobiPrecond::new(&m);
+        let mut z = [0.0; 2];
+        p.apply(&[2.0, 2.0], &mut z);
+        assert_eq!(z, [1.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-free diagonal")]
+    fn jacobi_rejects_zero_diagonal() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0);
+        let m = CsrMatrix::from_coo(&coo);
+        JacobiPrecond::new(&m);
+    }
+}

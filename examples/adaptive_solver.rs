@@ -1,0 +1,116 @@
+//! End-to-end adaptive pipeline on a *feature-guided* decision: train the
+//! decision-tree classifier offline (on the 210-matrix training sweep,
+//! labeled by the profile-guided classifier), then optimize unseen matrices
+//! with nothing but an `O(NNZ)` feature pass + tree query — the paper's
+//! lightest-weight path (Table V: feature-guided amortizes in tens of
+//! iterations) — and run BiCGSTAB/GMRES on the optimized kernels.
+//!
+//! Run with: `cargo run --release --example adaptive_solver`
+
+use sparseopt::ml::TreeParams;
+use sparseopt::prelude::*;
+use sparseopt::classifier::LabeledMatrix;
+use std::sync::Arc;
+
+fn main() {
+    let platform = Platform::knl();
+    println!("training feature-guided classifier on the {} model ...", platform.name);
+
+    // Offline phase: label the training sweep with the profile-guided
+    // classifier, then fit the tree (paper Section III-D).
+    let profiler = SimBoundsProfiler::new(platform.clone());
+    let pgc = ProfileGuidedClassifier::new();
+    let llc = platform.total_cache_bytes();
+    let samples: Vec<LabeledMatrix> = sparseopt::matrix::training_suite()
+        .into_iter()
+        .map(|m| {
+            let eff_llc = ((llc as f64 / m.scale) as usize).max(1);
+            let features = MatrixFeatures::extract(&m.csr, eff_llc);
+            let bounds = profiler.measure_scaled(&m.csr, m.scale, m.locality_scale());
+            LabeledMatrix {
+                name: m.name.to_string(),
+                features,
+                classes: pgc.classify(&bounds),
+            }
+        })
+        .collect();
+    let clf = FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+    println!(
+        "trained on {} matrices; tree has {} nodes, depth {}",
+        samples.len(),
+        clf.tree().node_count(),
+        clf.tree().depth()
+    );
+
+    // Online phase: unseen matrices, classified by features alone.
+    let ctx = ExecCtx::host();
+    let optimizer = AdaptiveOptimizer::new(ctx.clone());
+
+    // A nonsymmetric convection-diffusion system -> BiCGSTAB.
+    let mut coo = sparseopt::core::CooMatrix::new(20_000, 20_000);
+    for i in 0..20_000usize {
+        coo.push(i, i, 4.0);
+        if i > 0 {
+            coo.push(i, i - 1, -1.6);
+        }
+        if i + 1 < 20_000 {
+            coo.push(i, i + 1, -0.4);
+        }
+        if i + 50 < 20_000 {
+            coo.push(i, i + 50, -0.2);
+        }
+    }
+    let a = Arc::new(CsrMatrix::from_coo(&coo));
+    let opt = optimizer.optimize_feature_guided(&a, &clf);
+    println!(
+        "\nconvection-diffusion: classes {} -> {}",
+        opt.classes,
+        opt.kernel.name()
+    );
+    let b = vec![1.0f64; a.nrows()];
+    let mut x = vec![0.0f64; a.nrows()];
+    let out = bicgstab(
+        opt.kernel.as_ref(),
+        &b,
+        &mut x,
+        &JacobiPrecond::new(&a),
+        &SolverOptions { tol: 1e-10, max_iters: 500 },
+    );
+    println!(
+        "BiCGSTAB: converged={} in {} iterations (residual {:.2e})",
+        out.converged, out.iterations, out.relative_residual
+    );
+    assert!(out.converged);
+
+    // A scale-free graph Laplacian-like system -> GMRES(30).
+    let g = sparseopt::matrix::generators::power_law(8_000, 6, 0.9, 17);
+    let mut lap = sparseopt::core::CooMatrix::new(8_000, 8_000);
+    for (r, c, _v) in g.iter() {
+        if r != c {
+            lap.push(r, c, -0.1);
+        }
+    }
+    for i in 0..8_000 {
+        lap.push(i, i, 8.0);
+    }
+    let a2 = Arc::new(CsrMatrix::from_coo(&lap));
+    let opt2 = optimizer.optimize_feature_guided(&a2, &clf);
+    println!("\ngraph system: classes {} -> {}", opt2.classes, opt2.kernel.name());
+    let b2 = vec![0.5f64; a2.nrows()];
+    let mut x2 = vec![0.0f64; a2.nrows()];
+    let out2 = gmres(
+        opt2.kernel.as_ref(),
+        &b2,
+        &mut x2,
+        &IdentityPrecond,
+        30,
+        &SolverOptions { tol: 1e-9, max_iters: 1000 },
+    );
+    println!(
+        "GMRES(30): converged={} in {} iterations (residual {:.2e})",
+        out2.converged, out2.iterations, out2.relative_residual
+    );
+    assert!(out2.converged);
+
+    println!("\nclassifier rules (decision tree dump):\n{}", clf.dump_rules());
+}

@@ -1,0 +1,148 @@
+//! Integration tests of the full classification pipeline across crates:
+//! bounds → profile-guided classes → labels → feature-guided training →
+//! consistent predictions, on all three modeled platforms.
+
+use sparseopt::classifier::LabeledMatrix;
+use sparseopt::ml::TreeParams;
+use sparseopt::prelude::*;
+use std::sync::Arc;
+
+fn arc(coo: CooMatrix) -> Arc<CsrMatrix> {
+    Arc::new(CsrMatrix::from_coo(&coo))
+}
+
+/// Small deterministic corpus with structurally forced classes.
+fn corpus() -> Vec<(String, Arc<CsrMatrix>)> {
+    use sparseopt::matrix::generators as g;
+    let mut out = Vec::new();
+    for k in 0..6u64 {
+        let n = 4000 + 1000 * k as usize;
+        out.push((format!("band{k}"), arc(g::banded(n, 2 + (k % 3) as usize))));
+        out.push((format!("rand{k}"), arc(g::random_uniform(n, 8, k))));
+        out.push((format!("skew{k}"), arc(g::few_dense_rows(n, 2, 2 + (k % 3) as usize, k))));
+        out.push((format!("stencil{k}"), arc(g::poisson2d(60 + 5 * k as usize, 60))));
+    }
+    out
+}
+
+#[test]
+fn bounds_are_internally_consistent_on_all_platforms() {
+    for platform in Platform::paper_platforms() {
+        let profiler = SimBoundsProfiler::new(platform.clone());
+        for (name, csr) in corpus() {
+            let b = profiler.measure(&csr);
+            assert!(b.p_csr > 0.0, "{}/{name}: P_CSR must be positive", platform.name);
+            assert!(
+                b.p_imb >= b.p_csr * 0.99,
+                "{}/{name}: median-based bound below baseline",
+                platform.name
+            );
+            assert!(
+                b.p_peak >= b.p_mb * 0.99,
+                "{}/{name}: peak must dominate the MB roof",
+                platform.name
+            );
+            for (bound_name, v) in b.as_rows() {
+                assert!(v.is_finite() && v > 0.0, "{bound_name} invalid for {name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_guided_classifies_structures_sensibly_on_knc() {
+    let profiler = SimBoundsProfiler::new(Platform::knc());
+    let classifier = ProfileGuidedClassifier::new();
+    use sparseopt::matrix::generators as g;
+
+    // Scale-free matrix with scattered hubs must show latency and/or
+    // imbalance; a mega-row circuit must show imbalance; a scalar-bound
+    // random matrix must be latency-bound.
+    let skew = arc(g::few_dense_rows(20_000, 2, 4, 3));
+    let c = classifier.classify(&profiler.measure(&skew));
+    assert!(c.contains(Bottleneck::Imb), "mega rows must flag IMB, got {c}");
+
+    let rand = arc(g::random_uniform(20_000, 8, 5));
+    let c = classifier.classify(&profiler.measure(&rand));
+    assert!(c.contains(Bottleneck::Ml), "random access must flag ML, got {c}");
+}
+
+#[test]
+fn classes_differ_across_platforms_for_same_matrix() {
+    // The paper's Section IV observation: "some matrices present different
+    // or additional bottlenecks compared to KNC" — at least one corpus
+    // matrix must be diagnosed differently on different platforms.
+    let classifier = ProfileGuidedClassifier::new();
+    let mut any_diff = false;
+    for (_, csr) in corpus() {
+        let mut sets = Vec::new();
+        for platform in Platform::paper_platforms() {
+            let profiler = SimBoundsProfiler::new(platform);
+            sets.push(classifier.classify(&profiler.measure(&csr)));
+        }
+        if sets.windows(2).any(|w| w[0] != w[1]) {
+            any_diff = true;
+            break;
+        }
+    }
+    assert!(any_diff, "bottlenecks must be architecture-dependent");
+}
+
+#[test]
+fn feature_guided_agrees_with_profile_guided_on_training_data() {
+    let platform = Platform::knc();
+    let profiler = SimBoundsProfiler::new(platform);
+    let pgc = ProfileGuidedClassifier::new();
+
+    let samples: Vec<LabeledMatrix> = corpus()
+        .into_iter()
+        .map(|(name, csr)| LabeledMatrix {
+            features: MatrixFeatures::extract(&csr, 30 * 1024 * 1024),
+            classes: pgc.classify(&profiler.measure(&csr)),
+            name,
+        })
+        .collect();
+
+    let clf =
+        FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+    let mut exact = 0usize;
+    for s in &samples {
+        if clf.classify(&s.features) == s.classes {
+            exact += 1;
+        }
+    }
+    // Training-set reconstruction should be near perfect for a deep tree.
+    assert!(
+        exact * 10 >= samples.len() * 9,
+        "only {exact}/{} training samples reproduced",
+        samples.len()
+    );
+}
+
+#[test]
+fn adaptive_optimizer_never_picks_a_catastrophic_plan() {
+    // Performance stability (the paper's stated goal): on the KNC model the
+    // adaptive plan must never fall below 80% of the baseline.
+    let study = SimOptimizerStudy::new(Platform::knc());
+    for (name, csr) in corpus() {
+        let features = MatrixFeatures::extract(&csr, 30 * 1024 * 1024);
+        let e = study.evaluate(&csr, &features, None);
+        assert!(
+            e.prof >= 0.8 * e.baseline,
+            "{name}: prof {} fell below baseline {}",
+            e.prof,
+            e.baseline
+        );
+        assert!(e.oracle >= e.prof - 1e-9, "{name}: oracle must dominate");
+    }
+}
+
+#[test]
+fn classification_is_deterministic() {
+    let profiler = SimBoundsProfiler::new(Platform::knl());
+    let classifier = ProfileGuidedClassifier::new();
+    let csr = arc(sparseopt::matrix::generators::power_law(8000, 6, 0.9, 11));
+    let a = classifier.classify(&profiler.measure(&csr));
+    let b = classifier.classify(&profiler.measure(&csr));
+    assert_eq!(a, b);
+}

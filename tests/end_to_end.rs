@@ -1,0 +1,140 @@
+//! End-to-end scenarios spanning every crate: generate → analyze → classify
+//! → optimize → solve, with correctness verified at each seam.
+
+use sparseopt::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn optimize_then_solve_spd_system() {
+    // A Poisson system, adaptively optimized, solved with CG; the answer
+    // must match the plain-kernel solve.
+    let a = Arc::new(CsrMatrix::from_coo(&sparseopt::matrix::generators::poisson3d(10, 10, 10)));
+    let n = a.nrows();
+    let ctx = ExecCtx::new(2);
+
+    let optimizer = AdaptiveOptimizer::new(ctx.clone());
+    let profiler = SimBoundsProfiler::new(Platform::knl());
+    let optimized = optimizer.optimize_profiled(&a, &profiler);
+
+    let b = vec![1.0f64; n];
+    let opts = SolverOptions { tol: 1e-10, max_iters: 2000 };
+
+    let mut x_opt = vec![0.0f64; n];
+    let out_opt = cg(optimized.kernel.as_ref(), &b, &mut x_opt, &IdentityPrecond, &opts);
+    assert!(out_opt.converged, "{out_opt:?}");
+
+    let serial = SerialCsr::new(a.clone());
+    let mut x_ref = vec![0.0f64; n];
+    let out_ref = cg(&serial, &b, &mut x_ref, &IdentityPrecond, &opts);
+    assert!(out_ref.converged);
+
+    for (p, q) in x_opt.iter().zip(&x_ref) {
+        assert!((p - q).abs() < 1e-6, "solutions diverge: {p} vs {q}");
+    }
+}
+
+#[test]
+fn suite_matrices_work_with_every_vendor_baseline() {
+    let ctx = ExecCtx::new(2);
+    for name in ["poisson3Db", "webbase-1M", "ins2"] {
+        let m = sparseopt::matrix::by_name(name).expect("suite matrix");
+        let x = vec![1.0f64; m.csr.ncols()];
+        let mut want = vec![0.0f64; m.csr.nrows()];
+        SerialCsr::new(m.csr.clone()).spmv(&x, &mut want);
+
+        for kernel in [
+            sparseopt::optimizer::mkl_host_kernel(&m.csr, ctx.clone()),
+            sparseopt::optimizer::inspector_executor_host_kernel(&m.csr, ctx.clone()),
+        ] {
+            let mut y = vec![f64::NAN; m.csr.nrows()];
+            kernel.spmv(&x, &mut y);
+            for (i, (a, b)) in y.iter().zip(&want).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                    "{name}/{}: row {i}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn feature_guided_end_to_end_on_unseen_matrix() {
+    use sparseopt::classifier::LabeledMatrix;
+    use sparseopt::ml::TreeParams;
+    use sparseopt::matrix::generators as g;
+
+    // Train on a tiny but diverse corpus labeled by the profile-guided
+    // classifier on the KNL model.
+    let platform = Platform::knl();
+    let profiler = SimBoundsProfiler::new(platform);
+    let pgc = ProfileGuidedClassifier::new();
+    let mut samples = Vec::new();
+    for k in 0..5u64 {
+        for coo in [
+            g::banded(3000 + 500 * k as usize, 3),
+            g::random_uniform(3000 + 500 * k as usize, 8, k),
+            g::few_dense_rows(3000 + 500 * k as usize, 2, 3, k),
+        ] {
+            let csr = Arc::new(CsrMatrix::from_coo(&coo));
+            samples.push(LabeledMatrix {
+                name: format!("t{k}"),
+                features: MatrixFeatures::extract(&csr, 34 * 1024 * 1024),
+                classes: pgc.classify(&profiler.measure(&csr)),
+            });
+        }
+    }
+    let clf =
+        FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+
+    // Optimize an unseen matrix purely from features and verify the built
+    // kernel computes correctly.
+    let unseen = Arc::new(CsrMatrix::from_coo(&g::few_dense_rows(7000, 2, 3, 99)));
+    let ctx = ExecCtx::new(2);
+    let optimizer = AdaptiveOptimizer::new(ctx);
+    let result = optimizer.optimize_feature_guided(&unseen, &clf);
+
+    let x: Vec<f64> = (0..7000).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut y = vec![0.0f64; 7000];
+    result.kernel.spmv(&x, &mut y);
+    let mut want = vec![0.0f64; 7000];
+    SerialCsr::new(unseen).spmv(&x, &mut want);
+    for (a, b) in y.iter().zip(&want) {
+        assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+}
+
+#[test]
+fn simulated_study_produces_complete_fig7_row() {
+    let study = SimOptimizerStudy::new(Platform::broadwell());
+    let m = sparseopt::matrix::by_name("web-Google").expect("suite matrix");
+    let eff_llc =
+        ((study.platform().total_cache_bytes() as f64 / m.scale) as usize).max(1);
+    let features = MatrixFeatures::extract(&m.csr, eff_llc);
+    let e = study.evaluate_scaled(&m.csr, &features, m.scale, m.locality_scale(), None);
+
+    for (label, v) in [
+        ("mkl", e.mkl),
+        ("mkl_ie", e.mkl_ie),
+        ("baseline", e.baseline),
+        ("oracle", e.oracle),
+        ("prof", e.prof),
+    ] {
+        assert!(v.is_finite() && v > 0.0, "{label} invalid: {v}");
+    }
+    assert!(e.oracle >= e.baseline && e.oracle >= e.prof - 1e-9);
+}
+
+#[test]
+fn matrix_market_file_round_trip_via_disk() {
+    let dir = std::env::temp_dir().join("sparseopt-test-mm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.mtx");
+
+    let coo = sparseopt::matrix::generators::poisson2d(12, 12);
+    sparseopt::matrix::io::write_matrix_market_file(&coo, &path).unwrap();
+    let back = sparseopt::matrix::io::read_matrix_market_file(&path).unwrap();
+    assert_eq!(CsrMatrix::from_coo(&back), CsrMatrix::from_coo(&coo));
+    std::fs::remove_file(&path).ok();
+}

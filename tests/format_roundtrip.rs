@@ -1,0 +1,114 @@
+//! Property-based format invariants: conversions between COO, CSR, delta-CSR,
+//! decomposed CSR, and Matrix Market never lose or alter matrix content.
+
+use proptest::prelude::*;
+use sparseopt::prelude::*;
+
+fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..50, 1usize..50).prop_flat_map(|(r, c)| {
+        let entry = (0..r, 0..c, -1e6f64..1e6);
+        (Just(r), Just(c), proptest::collection::vec(entry, 0..200))
+    })
+}
+
+fn coo_of(r: usize, c: usize, entries: &[(usize, usize, f64)]) -> CooMatrix {
+    let mut coo = CooMatrix::new(r, c);
+    for &(i, j, v) in entries {
+        coo.push(i, j, v);
+    }
+    coo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_round_trip((r, c, entries) in arb_triplets()) {
+        let coo = coo_of(r, c, &entries);
+        let csr = CsrMatrix::from_coo(&coo);
+        // rowptr invariants.
+        prop_assert_eq!(csr.rowptr().len(), r + 1);
+        prop_assert_eq!(*csr.rowptr().last().unwrap(), csr.nnz());
+        prop_assert!(csr.rowptr().windows(2).all(|w| w[0] <= w[1]));
+        // Columns sorted within each row.
+        for i in 0..r {
+            prop_assert!(csr.row_cols(i).windows(2).all(|w| w[0] < w[1]));
+        }
+        // Round trip through COO preserves the matrix exactly.
+        let back = CsrMatrix::from_coo(&csr.to_coo());
+        prop_assert_eq!(&back, &csr);
+    }
+
+    #[test]
+    fn delta_round_trip_exact((r, c, entries) in arb_triplets()) {
+        let csr = CsrMatrix::from_coo(&coo_of(r, c, &entries));
+        for width in [DeltaWidth::U8, DeltaWidth::U16] {
+            let delta = DeltaCsrMatrix::from_csr_with_width(&csr, width);
+            prop_assert_eq!(delta.to_csr(), csr.clone(), "width {:?}", width);
+        }
+        // Auto width picks the smaller index footprint of the two.
+        let auto = DeltaCsrMatrix::from_csr(&csr);
+        let d8 = DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U8);
+        let d16 = DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U16);
+        let idx = |d: &DeltaCsrMatrix| d.nnz() * d.width().bytes() + d.exception_count() * 4;
+        prop_assert!(idx(&auto) <= idx(&d8).min(idx(&d16)) );
+    }
+
+    #[test]
+    fn decomposition_partitions_matrix((r, c, entries) in arb_triplets()) {
+        let csr = CsrMatrix::from_coo(&coo_of(r, c, &entries));
+        for threshold in [1usize, 2, 5, 50] {
+            let dec = DecomposedCsrMatrix::from_csr(&csr, threshold);
+            // Long rows are exactly the rows above the threshold.
+            for i in 0..r {
+                prop_assert_eq!(dec.is_long(i), csr.row_nnz(i) > threshold, "row {}", i);
+            }
+            // Short + long nonzeros account for everything, and the format
+            // reassembles losslessly.
+            let short: usize = *dec.short_rowptr().last().unwrap();
+            prop_assert_eq!(short + dec.long_nnz(), csr.nnz());
+            prop_assert_eq!(dec.to_csr(), csr.clone());
+        }
+    }
+
+    #[test]
+    fn matrix_market_round_trip((r, c, entries) in arb_triplets()) {
+        let coo = {
+            // Writer emits raw triplets; normalize duplicates first so the
+            // comparison is canonical.
+            let mut m = coo_of(r, c, &entries);
+            m.sort_and_dedup();
+            m
+        };
+        let mut buf = Vec::new();
+        sparseopt::matrix::io::write_matrix_market(&coo, &mut buf).unwrap();
+        let mut back = sparseopt::matrix::io::read_matrix_market(buf.as_slice()).unwrap();
+        back.sort_and_dedup();
+        prop_assert_eq!(back.nrows(), coo.nrows());
+        prop_assert_eq!(back.ncols(), coo.ncols());
+        prop_assert_eq!(back.nnz(), coo.nnz());
+        for ((r1, c1, v1), (r2, c2, v2)) in back.iter().zip(coo.iter()) {
+            prop_assert_eq!((r1, c1), (r2, c2));
+            prop_assert!((v1 - v2).abs() <= 1e-12 * v2.abs().max(1e-300));
+        }
+    }
+
+    #[test]
+    fn partitions_cover_rows_disjointly((r, c, entries) in arb_triplets()) {
+        let csr = CsrMatrix::from_coo(&coo_of(r, c, &entries));
+        for nparts in [1usize, 2, 3, 7, 16] {
+            for part in [Partition::by_rows(r, nparts), Partition::by_nnz(&csr, nparts)] {
+                prop_assert_eq!(part.len(), nparts);
+                let mut covered = 0usize;
+                for p in 0..nparts {
+                    let range = part.range(p);
+                    prop_assert_eq!(range.start, covered);
+                    covered = range.end;
+                }
+                prop_assert_eq!(covered, r);
+                let total: usize = part.nnz_per_part(&csr).iter().sum();
+                prop_assert_eq!(total, csr.nnz());
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based cross-crate invariant: every kernel in the library —
+//! all CSR configurations, delta-compressed, decomposed, and every
+//! optimizer-built plan — computes the same `y = A·x` as the serial
+//! reference on arbitrary sparse matrices.
+
+use proptest::prelude::*;
+use sparseopt::core::CsrKernelConfig;
+use sparseopt::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a random sparse matrix as triplets (duplicates allowed — they
+/// must be summed identically by every path).
+fn arb_matrix() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, -100.0f64..100.0);
+        (Just(n), proptest::collection::vec(entry, 1..300))
+    })
+}
+
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> Arc<CsrMatrix> {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    Arc::new(CsrMatrix::from_coo(&coo))
+}
+
+fn reference(csr: &Arc<CsrMatrix>, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; csr.nrows()];
+    SerialCsr::new(csr.clone()).spmv(x, &mut y);
+    y
+}
+
+fn assert_close(name: &str, got: &[f64], want: &[f64]) {
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+            "{name}: row {i} differs: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_csr_configs_match_serial((n, entries) in arb_matrix()) {
+        let csr = build(n, &entries);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let want = reference(&csr, &x);
+        let ctx = ExecCtx::new(3);
+
+        for inner in [InnerLoop::Scalar, InnerLoop::Unrolled4, InnerLoop::Simd] {
+            for prefetch in [false, true] {
+                for schedule in [
+                    Schedule::StaticRows,
+                    Schedule::StaticNnz,
+                    Schedule::Dynamic { chunk: 5 },
+                    Schedule::Guided { min_chunk: 2 },
+                    Schedule::Auto,
+                ] {
+                    let cfg = CsrKernelConfig { inner, prefetch, schedule: schedule.clone() };
+                    let k = ParallelCsr::new(csr.clone(), cfg, ctx.clone());
+                    let mut y = vec![f64::NAN; n];
+                    k.spmv(&x, &mut y);
+                    assert_close(&k.name(), &y, &want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_and_decomposed_match_serial((n, entries) in arb_matrix()) {
+        let csr = build(n, &entries);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let want = reference(&csr, &x);
+        let ctx = ExecCtx::new(2);
+
+        for width in [DeltaWidth::U8, DeltaWidth::U16] {
+            let delta = Arc::new(DeltaCsrMatrix::from_csr_with_width(&csr, width));
+            for inner in [InnerLoop::Scalar, InnerLoop::Simd] {
+                let k = DeltaKernel::new(delta.clone(), inner, false, Schedule::StaticNnz, ctx.clone());
+                let mut y = vec![f64::NAN; n];
+                k.spmv(&x, &mut y);
+                assert_close(&k.name(), &y, &want);
+            }
+        }
+
+        for threshold in [1usize, 3, 8, 1000] {
+            let dec = Arc::new(DecomposedCsrMatrix::from_csr(&csr, threshold));
+            let k = DecomposedKernel::baseline(dec, ctx.clone());
+            let mut y = vec![f64::NAN; n];
+            k.spmv(&x, &mut y);
+            assert_close(&format!("{} t={threshold}", k.name()), &y, &want);
+        }
+    }
+
+    #[test]
+    fn every_optimizer_plan_matches_serial((n, entries) in arb_matrix()) {
+        let csr = build(n, &entries);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let want = reference(&csr, &x);
+        let ctx = ExecCtx::new(2);
+        let features = MatrixFeatures::extract(&csr, 1 << 25);
+
+        for plan in sparseopt::optimizer::single_and_pair_plans(&features) {
+            let k = plan.build_host_kernel(&csr, ctx.clone());
+            let mut y = vec![f64::NAN; n];
+            k.spmv(&x, &mut y);
+            assert_close(&format!("plan {}", plan.label()), &y, &want);
+        }
+    }
+}
