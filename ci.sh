@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints (warnings are errors), the full test pyramid,
+# and compile-checks for benches + examples. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "CI green."

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sparseopt_classifier::{
-    Bottleneck, ClassSet, FeatureGuidedClassifier, LabeledMatrix, PerClassBounds,
-    ProfileGuidedClassifier, SimBoundsProfiler, BoundsProfiler,
+    Bottleneck, BoundsProfiler, ClassSet, FeatureGuidedClassifier, LabeledMatrix, PerClassBounds,
+    ProfileGuidedClassifier, SimBoundsProfiler,
 };
 use sparseopt_core::prelude::*;
 use sparseopt_matrix::{generators as g, FeatureSet, MatrixFeatures};
@@ -53,11 +53,7 @@ fn bench_classify(c: &mut Criterion) {
 
     group.bench_function("tree-train-36", |b| {
         b.iter(|| {
-            FeatureGuidedClassifier::train(
-                &samples,
-                FeatureSet::LinearInNnz,
-                TreeParams::default(),
-            )
+            FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default())
         })
     });
 

@@ -12,8 +12,14 @@ const LLC: usize = 32 * 1024 * 1024;
 
 fn bench_features(c: &mut Criterion) {
     let cases = vec![
-        ("poisson3d-20", CsrMatrix::from_coo(&g::poisson3d(20, 20, 20))),
-        ("powerlaw-16k", CsrMatrix::from_coo(&g::power_law(16384, 8, 1.0, 3))),
+        (
+            "poisson3d-20",
+            CsrMatrix::from_coo(&g::poisson3d(20, 20, 20)),
+        ),
+        (
+            "powerlaw-16k",
+            CsrMatrix::from_coo(&g::power_law(16384, 8, 1.0, 3)),
+        ),
     ];
 
     for (name, csr) in cases {

@@ -16,7 +16,9 @@ fn bench_formats(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("coo-to-csr", |b| b.iter(|| CsrMatrix::from_coo(&coo)));
-    group.bench_function("delta-encode", |b| b.iter(|| DeltaCsrMatrix::from_csr(&csr)));
+    group.bench_function("delta-encode", |b| {
+        b.iter(|| DeltaCsrMatrix::from_csr(&csr))
+    });
     group.bench_function("delta-encode-u16", |b| {
         b.iter(|| DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U16))
     });

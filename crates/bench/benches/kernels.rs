@@ -12,9 +12,18 @@ use std::sync::Arc;
 fn bench_kernels(c: &mut Criterion) {
     let ctx = ExecCtx::host();
     let cases: Vec<(&str, Arc<CsrMatrix>)> = vec![
-        ("poisson3d-16", Arc::new(CsrMatrix::from_coo(&g::poisson3d(16, 16, 16)))),
-        ("random-8k-d8", Arc::new(CsrMatrix::from_coo(&g::random_uniform(8192, 8, 1)))),
-        ("fewdense-8k", Arc::new(CsrMatrix::from_coo(&g::few_dense_rows(8192, 2, 3, 2)))),
+        (
+            "poisson3d-16",
+            Arc::new(CsrMatrix::from_coo(&g::poisson3d(16, 16, 16))),
+        ),
+        (
+            "random-8k-d8",
+            Arc::new(CsrMatrix::from_coo(&g::random_uniform(8192, 8, 1))),
+        ),
+        (
+            "fewdense-8k",
+            Arc::new(CsrMatrix::from_coo(&g::few_dense_rows(8192, 2, 3, 2))),
+        ),
     ];
 
     for (name, csr) in &cases {
@@ -32,16 +41,31 @@ fn bench_kernels(c: &mut Criterion) {
             ("baseline", CsrKernelConfig::baseline()),
             (
                 "prefetch",
-                CsrKernelConfig { prefetch: true, ..CsrKernelConfig::baseline() },
+                CsrKernelConfig {
+                    prefetch: true,
+                    ..CsrKernelConfig::baseline()
+                },
             ),
             (
                 "unrolled",
-                CsrKernelConfig { inner: InnerLoop::Unrolled4, ..CsrKernelConfig::baseline() },
+                CsrKernelConfig {
+                    inner: InnerLoop::Unrolled4,
+                    ..CsrKernelConfig::baseline()
+                },
             ),
-            ("simd", CsrKernelConfig { inner: InnerLoop::Simd, ..CsrKernelConfig::baseline() }),
+            (
+                "simd",
+                CsrKernelConfig {
+                    inner: InnerLoop::Simd,
+                    ..CsrKernelConfig::baseline()
+                },
+            ),
             (
                 "auto-sched",
-                CsrKernelConfig { schedule: Schedule::Auto, ..CsrKernelConfig::baseline() },
+                CsrKernelConfig {
+                    schedule: Schedule::Auto,
+                    ..CsrKernelConfig::baseline()
+                },
             ),
         ];
         for (label, cfg) in configs {

@@ -25,15 +25,33 @@ fn main() {
 
     // ---- 1. Delta width ---------------------------------------------------
     println!("== Ablation 1: delta compression width (KNC model) ==\n");
-    let mut t = Table::new(vec!["matrix", "width", "index bytes/nnz", "exceptions", "GF/s"]);
+    let mut t = Table::new(vec![
+        "matrix",
+        "width",
+        "index bytes/nnz",
+        "exceptions",
+        "GF/s",
+    ]);
     for (name, csr) in [
-        ("banded-150k-b12", CsrMatrix::from_coo(&g::banded(150_000, 12))),
-        ("random-40k-d8", CsrMatrix::from_coo(&g::random_uniform(40_000, 8, 1))),
+        (
+            "banded-150k-b12",
+            CsrMatrix::from_coo(&g::banded(150_000, 12)),
+        ),
+        (
+            "random-40k-d8",
+            CsrMatrix::from_coo(&g::random_uniform(40_000, 8, 1)),
+        ),
     ] {
         let profile = SimMatrixProfile::analyze(&csr, &knc);
         for (label, delta) in [
-            ("u8", DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U8)),
-            ("u16", DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U16)),
+            (
+                "u8",
+                DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U8),
+            ),
+            (
+                "u16",
+                DeltaCsrMatrix::from_csr_with_width(&csr, DeltaWidth::U16),
+            ),
             ("auto", DeltaCsrMatrix::from_csr(&csr)),
         ] {
             let mut p = profile.clone();
@@ -60,7 +78,13 @@ fn main() {
     let skew = CsrMatrix::from_coo(&g::few_dense_rows(20_000, 2, 4, 3));
     let profile = SimMatrixProfile::analyze(&skew, &knc);
     let base = simulate(&profile, &knc, &SimKernelConfig::baseline()).gflops;
-    let mut t = Table::new(vec!["threshold factor", "threshold nnz", "long rows", "GF/s", "speedup"]);
+    let mut t = Table::new(vec![
+        "threshold factor",
+        "threshold nnz",
+        "long rows",
+        "GF/s",
+        "speedup",
+    ]);
     for factor in [1.5f64, 2.0, 4.0, 8.0, 16.0, 64.0] {
         let threshold = DecomposedCsrMatrix::auto_threshold(&skew, factor);
         let dec = DecomposedCsrMatrix::from_csr(&skew, threshold);
@@ -119,7 +143,11 @@ fn main() {
             let bounds = study.profiler().measure_profile(&prof);
             let features = MatrixFeatures::extract(csr, knc.total_cache_bytes());
             let plan = OptimizationPlan::from_classes(clf.classify(&bounds), &features);
-            let g = if plan.is_noop() { bounds.p_csr } else { study.plan_gflops(&prof, &plan) };
+            let g = if plan.is_noop() {
+                bounds.p_csr
+            } else {
+                study.plan_gflops(&prof, &plan)
+            };
             sum += g / bounds.p_csr;
         }
         t.row(vec![
@@ -133,12 +161,28 @@ fn main() {
 
     // ---- 5. Format shoot-out ---------------------------------------------------
     println!("\n== Ablation 5: storage footprint per format (bytes/nnz) ==\n");
-    let mut t = Table::new(vec!["matrix", "CSR", "delta-CSR", "ELL", "BCSR 4x4", "BCSR fill"]);
+    let mut t = Table::new(vec![
+        "matrix",
+        "CSR",
+        "delta-CSR",
+        "ELL",
+        "BCSR 4x4",
+        "BCSR fill",
+    ]);
     for (name, csr) in [
         ("banded", CsrMatrix::from_coo(&g::banded(20_000, 4))),
-        ("blocked-fem", CsrMatrix::from_coo(&g::blocked_fem(500, 4, 4, 9))),
-        ("power-law", CsrMatrix::from_coo(&g::power_law(10_000, 6, 1.0, 10))),
-        ("few-dense-rows", CsrMatrix::from_coo(&g::few_dense_rows(10_000, 2, 3, 11))),
+        (
+            "blocked-fem",
+            CsrMatrix::from_coo(&g::blocked_fem(500, 4, 4, 9)),
+        ),
+        (
+            "power-law",
+            CsrMatrix::from_coo(&g::power_law(10_000, 6, 1.0, 10)),
+        ),
+        (
+            "few-dense-rows",
+            CsrMatrix::from_coo(&g::few_dense_rows(10_000, 2, 3, 11)),
+        ),
     ] {
         let nnz = csr.nnz() as f64;
         let delta = DeltaCsrMatrix::from_csr(&csr);

@@ -19,8 +19,13 @@ fn main() {
     let knc = Platform::knc();
     let suite = sparseopt_matrix::paper_suite();
 
-    let mut table =
-        Table::new(vec!["matrix", "baseline GF/s", "prefetch", "vectorization", "auto-sched"]);
+    let mut table = Table::new(vec![
+        "matrix",
+        "baseline GF/s",
+        "prefetch",
+        "vectorization",
+        "auto-sched",
+    ]);
     let (mut slow, mut fast) = (0usize, 0usize);
 
     for m in &suite {
@@ -30,19 +35,28 @@ fn main() {
         let pf = simulate(
             &profile,
             &knc,
-            &SimKernelConfig { prefetch: true, ..SimKernelConfig::baseline() },
+            &SimKernelConfig {
+                prefetch: true,
+                ..SimKernelConfig::baseline()
+            },
         )
         .gflops;
         let vec = simulate(
             &profile,
             &knc,
-            &SimKernelConfig { inner: InnerLoop::Simd, ..SimKernelConfig::baseline() },
+            &SimKernelConfig {
+                inner: InnerLoop::Simd,
+                ..SimKernelConfig::baseline()
+            },
         )
         .gflops;
         let auto = simulate(
             &profile,
             &knc,
-            &SimKernelConfig { schedule: Schedule::Auto, ..SimKernelConfig::baseline() },
+            &SimKernelConfig {
+                schedule: Schedule::Auto,
+                ..SimKernelConfig::baseline()
+            },
         )
         .gflops;
 
@@ -62,9 +76,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "== Fig. 1: speedup of blind single optimizations over baseline CSR (KNC model) ==\n"
-    );
+    println!("== Fig. 1: speedup of blind single optimizations over baseline CSR (KNC model) ==\n");
     if csv {
         print!("{}", table.render_csv());
     } else {

@@ -41,23 +41,31 @@ fn main() {
         // KNC predates the Inspector-Executor API (paper: "MKL
         // Inspector-Executor is not available on KNC").
         let has_ie = platform.name != "KNC";
-        eprintln!("[fig7] training feature-guided classifier on {} ...", platform.name);
-        let clf = train_feature_classifier(
-            &platform,
-            FeatureSet::LinearInNnz,
-            TreeParams::default(),
+        eprintln!(
+            "[fig7] training feature-guided classifier on {} ...",
+            platform.name
         );
+        let clf =
+            train_feature_classifier(&platform, FeatureSet::LinearInNnz, TreeParams::default());
         let study = SimOptimizerStudy::new(platform.clone());
         let llc = platform.total_cache_bytes();
 
         let mut table = Table::new(vec![
-            "matrix", "MKL", "MKL-IE", "baseline", "oracle", "prof", "feat", "classes(prof)",
+            "matrix",
+            "MKL",
+            "MKL-IE",
+            "baseline",
+            "oracle",
+            "prof",
+            "feat",
+            "classes(prof)",
         ]);
         let (mut s_prof, mut s_feat, mut s_ie, mut n) = (0.0f64, 0.0f64, 0.0f64, 0usize);
         for m in &suite {
             let eff_llc = ((llc as f64 / m.scale) as usize).max(1);
             let features = MatrixFeatures::extract(&m.csr, eff_llc);
-            let e = study.evaluate_scaled(&m.csr, &features, m.scale, m.locality_scale(), Some(&clf));
+            let e =
+                study.evaluate_scaled(&m.csr, &features, m.scale, m.locality_scale(), Some(&clf));
             let feat = e.feat.unwrap_or(e.baseline);
             s_prof += e.prof / e.mkl;
             s_feat += feat / e.mkl;

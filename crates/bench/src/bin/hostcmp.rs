@@ -28,7 +28,10 @@ fn time_gflops(k: &dyn SpmvKernel, reps: usize) -> f64 {
 }
 
 fn main() {
-    let reps: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
     let ctx = ExecCtx::host();
     println!(
         "host comparison: {} threads, {} reps per kernel\n",
@@ -40,7 +43,14 @@ fn main() {
     let classifier = ProfileGuidedClassifier::new();
     println!("profiler: {}\n", profiler.label());
 
-    let names = ["poisson3Db", "FEM_3D_thermal2", "webbase-1M", "ASIC_680k", "consph", "SiO2"];
+    let names = [
+        "poisson3Db",
+        "FEM_3D_thermal2",
+        "webbase-1M",
+        "ASIC_680k",
+        "consph",
+        "SiO2",
+    ];
     let mut table = Table::new(vec![
         "matrix", "MKL-like", "IE-like", "baseline", "oracle", "adaptive", "classes",
     ]);
@@ -50,7 +60,10 @@ fn main() {
         let features = MatrixFeatures::extract(&csr, 32 * 1024 * 1024);
 
         let mkl = time_gflops(mkl_host_kernel(&csr, ctx.clone()).as_ref(), reps);
-        let ie = time_gflops(inspector_executor_host_kernel(&csr, ctx.clone()).as_ref(), reps);
+        let ie = time_gflops(
+            inspector_executor_host_kernel(&csr, ctx.clone()).as_ref(),
+            reps,
+        );
         let baseline = time_gflops(&ParallelCsr::baseline(csr.clone(), ctx.clone()), reps);
 
         // Oracle: time every plan for real, keep the best.

@@ -28,7 +28,10 @@ fn main() {
         _ => Platform::knc(),
     };
 
-    eprintln!("[table4] generating and labeling the 210-matrix training sweep on {} ...", platform.name);
+    eprintln!(
+        "[table4] generating and labeling the 210-matrix training sweep on {} ...",
+        platform.name
+    );
     let labeled = label_suite(sparseopt_matrix::training_suite(), &platform);
     let samples: Vec<LabeledMatrix> = labeled.iter().map(|l| l.to_labeled()).collect();
 
@@ -52,10 +55,18 @@ fn main() {
         class_counts[4]
     );
 
-    let mut table =
-        Table::new(vec!["features", "complexity", "accuracy exact (%)", "accuracy partial (%)"]);
+    let mut table = Table::new(vec![
+        "features",
+        "complexity",
+        "accuracy exact (%)",
+        "accuracy partial (%)",
+    ]);
     for set in [FeatureSet::LinearInRows, FeatureSet::LinearInNnz] {
-        eprintln!("[table4] LOO CV over {} samples, {:?} ...", samples.len(), set);
+        eprintln!(
+            "[table4] LOO CV over {} samples, {:?} ...",
+            samples.len(),
+            set
+        );
         let acc = FeatureGuidedClassifier::loo_accuracy(&samples, set, TreeParams::default());
         table.row(vec![
             set.names().join(" "),
@@ -70,5 +81,7 @@ fn main() {
         platform.name
     );
     print!("{}", table.render());
-    println!("\n(paper, KNC: O(N) set 80% exact / 95% partial; O(NNZ) set 84% exact / 100% partial)");
+    println!(
+        "\n(paper, KNC: O(N) set 80% exact / 95% partial; O(NNZ) set 84% exact / 100% partial)"
+    );
 }

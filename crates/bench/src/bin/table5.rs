@@ -15,28 +15,34 @@ use sparseopt_bench::train_feature_classifier;
 use sparseopt_matrix::{FeatureSet, MatrixFeatures};
 use sparseopt_ml::TreeParams;
 use sparseopt_optimizer::{
-    amortization_iters, plan_conversion_cost_spmv, single_and_pair_plans, single_plans,
-    summarize, OptimizationPlan, OptimizerKind, SimOptimizerStudy,
+    amortization_iters, plan_conversion_cost_spmv, single_and_pair_plans, single_plans, summarize,
+    OptimizationPlan, OptimizerKind, SimOptimizerStudy,
 };
 use sparseopt_sim::{simulate, Platform};
 
 fn main() {
     let platform = Platform::knl();
-    eprintln!("[table5] training feature-guided classifier on {} ...", platform.name);
-    let clf =
-        train_feature_classifier(&platform, FeatureSet::LinearInNnz, TreeParams::default());
+    eprintln!(
+        "[table5] training feature-guided classifier on {} ...",
+        platform.name
+    );
+    let clf = train_feature_classifier(&platform, FeatureSet::LinearInNnz, TreeParams::default());
     let study = SimOptimizerStudy::new(platform.clone());
     let llc = platform.total_cache_bytes();
     let suite = sparseopt_matrix::paper_suite();
 
     // Per-kind per-matrix amortization counts.
-    let mut iters: std::collections::HashMap<OptimizerKind, Vec<Option<f64>>> =
-        OptimizerKind::ALL.iter().map(|&k| (k, Vec::new())).collect();
+    let mut iters: std::collections::HashMap<OptimizerKind, Vec<Option<f64>>> = OptimizerKind::ALL
+        .iter()
+        .map(|&k| (k, Vec::new()))
+        .collect();
 
     for m in &suite {
         let eff_llc = ((llc as f64 / m.scale) as usize).max(1);
         let features = MatrixFeatures::extract(&m.csr, eff_llc);
-        let profile = study.profiler().profile_scaled(&m.csr, m.scale, m.locality_scale());
+        let profile = study
+            .profiler()
+            .profile_scaled(&m.csr, m.scale, m.locality_scale());
         let e = study.evaluate_scaled(&m.csr, &features, m.scale, m.locality_scale(), Some(&clf));
         let nnz2 = 2.0 * m.csr.nnz() as f64;
 
@@ -78,8 +84,7 @@ fn main() {
                 OptimizerKind::FeatureGuided => (t_feat, feat_plan.clone()),
                 OptimizerKind::InspectorExecutor => (t_ie, OptimizationPlan::baseline()),
             };
-            let t_pre =
-                kind.preprocessing_spmv_equiv(&selected, conv_single, conv_pairs) * t_base;
+            let t_pre = kind.preprocessing_spmv_equiv(&selected, conv_single, conv_pairs) * t_base;
             iters
                 .get_mut(&kind)
                 .expect("all kinds present")
@@ -87,8 +92,13 @@ fn main() {
         }
     }
 
-    let mut table =
-        Table::new(vec!["optimizer", "N_iters,best", "N_iters,avg", "N_iters,worst", "never"]);
+    let mut table = Table::new(vec![
+        "optimizer",
+        "N_iters,best",
+        "N_iters,avg",
+        "N_iters,worst",
+        "never",
+    ]);
     for kind in OptimizerKind::ALL {
         let row = summarize(kind.label(), &iters[&kind]);
         let f = |v: f64| {

@@ -40,11 +40,17 @@ fn main() {
 
     let study = SimOptimizerStudy::new(platform.clone());
     // Precompute per-matrix profiles, features, bounds, and the baseline.
-    eprintln!("[tune] profiling {} matrices on {} ...", suite.len(), platform.name);
+    eprintln!(
+        "[tune] profiling {} matrices on {} ...",
+        suite.len(),
+        platform.name
+    );
     let prepared: Vec<_> = suite
         .iter()
         .map(|m| {
-            let profile = study.profiler().profile_scaled(&m.csr, m.scale, m.locality_scale());
+            let profile = study
+                .profiler()
+                .profile_scaled(&m.csr, m.scale, m.locality_scale());
             let bounds = study.profiler().measure_profile(&profile);
             let eff_llc = ((llc as f64 / m.scale) as usize).max(1);
             let features = MatrixFeatures::extract(&m.csr, eff_llc);
@@ -69,13 +75,20 @@ fn main() {
         for (profile, bounds, features, base) in &prepared {
             let classes = clf.classify(bounds);
             let plan = OptimizationPlan::from_classes(classes, features);
-            let g = if plan.is_noop() { *base } else { study.plan_gflops(profile, &plan) };
+            let g = if plan.is_noop() {
+                *base
+            } else {
+                study.plan_gflops(profile, &plan)
+            };
             sum += g / base.max(1e-12);
         }
         sum / prepared.len() as f64
     });
 
-    println!("== Fig. 4 hyperparameter grid search ({} model) ==\n", platform.name);
+    println!(
+        "== Fig. 4 hyperparameter grid search ({} model) ==\n",
+        platform.name
+    );
     println!("best thresholds: T_ML = {t_ml:.2}, T_IMB = {t_imb:.2}");
     println!("mean adaptive speedup over baseline at optimum: {score:.3}x");
     println!("(paper's tuned values on its testbeds: T_ML = 1.25, T_IMB = 1.24)");

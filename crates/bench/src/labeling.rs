@@ -51,7 +51,12 @@ pub fn label_suite(suite: Vec<SuiteMatrix>, platform: &Platform) -> Vec<LabeledS
             let features = MatrixFeatures::extract(&m.csr, eff_llc);
             let bounds = profiler.measure_scaled(&m.csr, m.scale, m.locality_scale());
             let classes = classifier.classify(&bounds);
-            LabeledSuiteMatrix { matrix: m, features, bounds, classes }
+            LabeledSuiteMatrix {
+                matrix: m,
+                features,
+                bounds,
+                classes,
+            }
         })
         .collect()
 }
@@ -76,15 +81,21 @@ mod tests {
     fn labels_small_suite_with_diverse_classes() {
         // A handful of named matrices spanning categories.
         let names = ["poisson3Db", "rajat30", "SiO2", "small-dense"];
-        let suite: Vec<SuiteMatrix> =
-            names.iter().map(|n| sparseopt_matrix::by_name(n).expect("known")).collect();
+        let suite: Vec<SuiteMatrix> = names
+            .iter()
+            .map(|n| sparseopt_matrix::by_name(n).expect("known"))
+            .collect();
         let labeled = label_suite(suite, &Platform::knc());
         assert_eq!(labeled.len(), 4);
         // The circuit matrix (rajat30 stand-in) must be flagged imbalanced.
         let rajat = labeled.iter().find(|l| l.matrix.name == "rajat30").unwrap();
         assert!(
-            rajat.classes.contains(sparseopt_classifier::Bottleneck::Imb)
-                || rajat.classes.contains(sparseopt_classifier::Bottleneck::Cmp),
+            rajat
+                .classes
+                .contains(sparseopt_classifier::Bottleneck::Imb)
+                || rajat
+                    .classes
+                    .contains(sparseopt_classifier::Bottleneck::Cmp),
             "rajat30 classes: {}",
             rajat.classes
         );

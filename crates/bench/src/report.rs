@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.

@@ -11,8 +11,8 @@
 //!   kernel for `P_CMP`, per-thread medians for `P_IMB`, and measured STREAM
 //!   bandwidth for `P_MB` / `P_peak`.
 
-use sparseopt_core::prelude::*;
 use sparseopt_core::kernels::regularize_colind;
+use sparseopt_core::prelude::*;
 use sparseopt_sim::{
     analytic_mb_bound, analytic_peak_bound, simulate, simulate_cmp_bound, simulate_imb_bound,
     simulate_ml_bound, Platform, SimKernelConfig, SimMatrixProfile,
@@ -142,7 +142,11 @@ impl HostBoundsProfiler {
     /// Creates a host profiler; measures STREAM bandwidth once up front.
     pub fn new(ctx: Arc<ExecCtx>) -> Self {
         let bw_gbs = sparseopt_sim::stream_triad_gbs(4 * 1024 * 1024, 3);
-        Self { ctx, bw_gbs, reps: 16 }
+        Self {
+            ctx,
+            bw_gbs,
+            reps: 16,
+        }
     }
 
     /// Overrides the measured bandwidth (tests, known machines).
@@ -177,8 +181,11 @@ impl HostBoundsProfiler {
     /// Per-thread median time of one additional baseline run, seconds.
     fn median_thread_secs(&self, kernel: &ParallelCsr, x: &[f64], y: &mut [f64]) -> f64 {
         kernel.spmv(x, y);
-        let secs: Vec<f64> =
-            kernel.last_thread_times().iter().map(|d| d.as_secs_f64()).collect();
+        let secs: Vec<f64> = kernel
+            .last_thread_times()
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect();
         sparseopt_core::util::median(&secs).unwrap_or(0.0)
     }
 }
@@ -211,11 +218,22 @@ impl BoundsProfiler for HostBoundsProfiler {
         let p_mb = gflops(flops, (csr.footprint_bytes() as f64 + xy_bytes) / bw);
         let p_peak = gflops(flops, (csr.values_bytes() as f64 + xy_bytes) / bw);
 
-        PerClassBounds { p_csr, p_mb, p_ml, p_imb, p_cmp, p_peak }
+        PerClassBounds {
+            p_csr,
+            p_mb,
+            p_ml,
+            p_imb,
+            p_cmp,
+            p_peak,
+        }
     }
 
     fn label(&self) -> String {
-        format!("host({} threads, {:.1} GB/s)", self.ctx.nthreads(), self.bw_gbs)
+        format!(
+            "host({} threads, {:.1} GB/s)",
+            self.ctx.nthreads(),
+            self.bw_gbs
+        )
     }
 }
 
@@ -230,9 +248,23 @@ mod tests {
         for p in Platform::paper_platforms() {
             let b = SimBoundsProfiler::new(p.clone()).measure(&csr);
             assert!(b.p_csr > 0.0);
-            assert!(b.p_peak >= b.p_mb, "{}: peak {} < mb {}", p.name, b.p_peak, b.p_mb);
-            assert!(b.p_imb >= 0.99 * b.p_csr, "{}: median cannot trail max by much", p.name);
-            assert!(b.p_ml >= 0.9 * b.p_csr, "{}: removing misses cannot hurt", p.name);
+            assert!(
+                b.p_peak >= b.p_mb,
+                "{}: peak {} < mb {}",
+                p.name,
+                b.p_peak,
+                b.p_mb
+            );
+            assert!(
+                b.p_imb >= 0.99 * b.p_csr,
+                "{}: median cannot trail max by much",
+                p.name
+            );
+            assert!(
+                b.p_ml >= 0.9 * b.p_csr,
+                "{}: removing misses cannot hurt",
+                p.name
+            );
         }
     }
 
@@ -263,7 +295,9 @@ mod tests {
     #[test]
     fn host_bounds_run_and_are_positive() {
         let csr = Arc::new(CsrMatrix::from_coo(&g::poisson2d(40, 40)));
-        let prof = HostBoundsProfiler::new(ExecCtx::new(2)).with_reps(2).with_bandwidth(10.0);
+        let prof = HostBoundsProfiler::new(ExecCtx::new(2))
+            .with_reps(2)
+            .with_bandwidth(10.0);
         let b = prof.measure(&csr);
         for (name, v) in b.as_rows() {
             assert!(v > 0.0, "{name} must be positive, got {v}");

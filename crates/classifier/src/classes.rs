@@ -22,7 +22,12 @@ pub enum Bottleneck {
 
 impl Bottleneck {
     /// All classes in display order.
-    pub const ALL: [Bottleneck; 4] = [Bottleneck::Mb, Bottleneck::Ml, Bottleneck::Imb, Bottleneck::Cmp];
+    pub const ALL: [Bottleneck; 4] = [
+        Bottleneck::Mb,
+        Bottleneck::Ml,
+        Bottleneck::Imb,
+        Bottleneck::Cmp,
+    ];
 
     /// The paper's label for the class.
     pub fn label(self) -> &'static str {
@@ -96,7 +101,9 @@ impl ClassSet {
 
     /// Iterates members in display order.
     pub fn iter(self) -> impl Iterator<Item = Bottleneck> {
-        Bottleneck::ALL.into_iter().filter(move |&c| self.contains(c))
+        Bottleneck::ALL
+            .into_iter()
+            .filter(move |&c| self.contains(c))
     }
 
     /// Set intersection.

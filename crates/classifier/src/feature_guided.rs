@@ -29,8 +29,10 @@ pub struct FeatureGuidedClassifier {
 
 /// Label schema: the four bottleneck classes plus the dummy NONE class.
 fn label_names() -> Vec<String> {
-    let mut names: Vec<String> =
-        Bottleneck::ALL.iter().map(|c| c.label().to_string()).collect();
+    let mut names: Vec<String> = Bottleneck::ALL
+        .iter()
+        .map(|c| c.label().to_string())
+        .collect();
     names.push("NONE".to_string());
     names
 }
@@ -65,7 +67,10 @@ impl FeatureGuidedClassifier {
     /// Panics on an empty training set.
     pub fn train(samples: &[LabeledMatrix], set: FeatureSet, params: TreeParams) -> Self {
         let data = build_dataset(samples, set);
-        Self { tree: DecisionTree::fit(&data, params), set }
+        Self {
+            tree: DecisionTree::fit(&data, params),
+            set,
+        }
     }
 
     /// Classifies a matrix from its extracted features. This is the entire
@@ -130,8 +135,7 @@ mod tests {
                 classes: ClassSet::from_classes(&[Bottleneck::Ml]),
             });
             // Few dense rows: IMB + CMP.
-            let m =
-                CsrMatrix::from_coo(&g::few_dense_rows(2000 + k * 500, 2, 2 + k % 3, k as u64));
+            let m = CsrMatrix::from_coo(&g::few_dense_rows(2000 + k * 500, 2, 2 + k % 3, k as u64));
             out.push(LabeledMatrix {
                 name: format!("skew{k}"),
                 features: MatrixFeatures::extract(&m, LLC),
@@ -181,10 +185,16 @@ mod tests {
 
     #[test]
     fn dummy_class_encodes_empty_set() {
-        assert_eq!(encode_labels(ClassSet::EMPTY), vec![false, false, false, false, true]);
+        assert_eq!(
+            encode_labels(ClassSet::EMPTY),
+            vec![false, false, false, false, true]
+        );
         let full = ClassSet::from_classes(&Bottleneck::ALL);
         assert_eq!(encode_labels(full), vec![true, true, true, true, false]);
-        assert_eq!(decode_labels(&[false, true, false, false, false]).to_string(), "{ML}");
+        assert_eq!(
+            decode_labels(&[false, true, false, false, false]).to_string(),
+            "{ML}"
+        );
     }
 
     #[test]

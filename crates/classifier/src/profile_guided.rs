@@ -31,7 +31,11 @@ pub struct ProfileThresholds {
 impl Default for ProfileThresholds {
     /// The paper's tuned values (Fig. 4 caption).
     fn default() -> Self {
-        Self { t_ml: 1.25, t_imb: 1.24, t_mb: 0.7 }
+        Self {
+            t_ml: 1.25,
+            t_imb: 1.24,
+            t_mb: 0.7,
+        }
     }
 }
 
@@ -94,8 +98,22 @@ impl ProfileGuidedClassifier {
 mod tests {
     use super::*;
 
-    fn bounds(p_csr: f64, p_mb: f64, p_ml: f64, p_imb: f64, p_cmp: f64, p_peak: f64) -> PerClassBounds {
-        PerClassBounds { p_csr, p_mb, p_ml, p_imb, p_cmp, p_peak }
+    fn bounds(
+        p_csr: f64,
+        p_mb: f64,
+        p_ml: f64,
+        p_imb: f64,
+        p_cmp: f64,
+        p_peak: f64,
+    ) -> PerClassBounds {
+        PerClassBounds {
+            p_csr,
+            p_mb,
+            p_ml,
+            p_imb,
+            p_cmp,
+            p_peak,
+        }
     }
 
     #[test]
@@ -160,7 +178,9 @@ mod tests {
     fn thresholds_move_decisions() {
         let b = bounds(4.0, 11.0, 5.2, 4.3, 15.0, 20.0);
         // 5.2/4.0 = 1.3: ML at default threshold 1.25, not at 1.4.
-        assert!(ProfileGuidedClassifier::new().classify(&b).contains(Bottleneck::Ml));
+        assert!(ProfileGuidedClassifier::new()
+            .classify(&b)
+            .contains(Bottleneck::Ml));
         let strict = ProfileGuidedClassifier::with_thresholds(ProfileThresholds {
             t_ml: 1.4,
             ..Default::default()

@@ -73,7 +73,16 @@ impl BcsrMatrix {
             browptr.push(bcolind.len());
         }
 
-        Self { nrows, ncols, r, c, browptr, bcolind, blocks, nnz: csr.nnz() }
+        Self {
+            nrows,
+            ncols,
+            r,
+            c,
+            browptr,
+            bcolind,
+            blocks,
+            nnz: csr.nnz(),
+        }
     }
 
     /// Number of rows of the logical matrix.
@@ -212,7 +221,11 @@ mod tests {
         let mut s = 7u64;
         for _ in 0..120 {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            coo.push((s >> 13) as usize % 25, (s >> 33) as usize % 19, ((s % 17) as f64) - 8.0);
+            coo.push(
+                (s >> 13) as usize % 25,
+                (s >> 33) as usize % 19,
+                ((s % 17) as f64) - 8.0,
+            );
         }
         let csr = CsrMatrix::from_coo(&coo);
         let x: Vec<f64> = (0..19).map(|i| (i as f64 * 0.7).cos()).collect();

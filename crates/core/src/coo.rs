@@ -29,7 +29,13 @@ impl CooMatrix {
             nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
             "matrix dimensions must fit in u32 indices"
         );
-        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates a matrix with capacity reserved for `nnz` triplets.
@@ -53,19 +59,42 @@ impl CooMatrix {
         cols: Vec<u32>,
         vals: Vec<f64>,
     ) -> Self {
-        assert_eq!(rows.len(), cols.len(), "triplet arrays must have equal length");
-        assert_eq!(rows.len(), vals.len(), "triplet arrays must have equal length");
+        assert_eq!(
+            rows.len(),
+            cols.len(),
+            "triplet arrays must have equal length"
+        );
+        assert_eq!(
+            rows.len(),
+            vals.len(),
+            "triplet arrays must have equal length"
+        );
         for (&r, &c) in rows.iter().zip(&cols) {
-            assert!((r as usize) < nrows, "row index {r} out of bounds ({nrows} rows)");
-            assert!((c as usize) < ncols, "col index {c} out of bounds ({ncols} cols)");
+            assert!(
+                (r as usize) < nrows,
+                "row index {r} out of bounds ({nrows} rows)"
+            );
+            assert!(
+                (c as usize) < ncols,
+                "col index {c} out of bounds ({ncols} cols)"
+            );
         }
-        Self { nrows, ncols, rows, cols, vals }
+        Self {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        }
     }
 
     /// Appends one entry. Duplicates are allowed and summed on conversion.
     #[inline]
     pub fn push(&mut self, row: usize, col: usize, val: f64) {
-        debug_assert!(row < self.nrows && col < self.ncols, "entry ({row},{col}) out of bounds");
+        debug_assert!(
+            row < self.nrows && col < self.ncols,
+            "entry ({row},{col}) out of bounds"
+        );
         self.rows.push(row as u32);
         self.cols.push(col as u32);
         self.vals.push(val);
@@ -119,7 +148,10 @@ impl CooMatrix {
     /// value. Useful for turning generator output into structurally symmetric
     /// matrices (e.g. for CG test problems).
     pub fn symmetrize(&self) -> CooMatrix {
-        assert_eq!(self.nrows, self.ncols, "symmetrize requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "symmetrize requires a square matrix"
+        );
         let mut out = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz() * 2);
         for (r, c, v) in self.iter() {
             out.push(r, c, v);
@@ -179,7 +211,13 @@ impl CooMatrix {
 
 impl fmt::Display for CooMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CooMatrix {}x{}, {} triplets", self.nrows, self.ncols, self.nnz())
+        write!(
+            f,
+            "CooMatrix {}x{}, {} triplets",
+            self.nrows,
+            self.ncols,
+            self.nnz()
+        )
     }
 }
 
@@ -225,7 +263,7 @@ mod tests {
         let s = m.symmetrize();
         assert_eq!(s.nnz(), 3);
         let mut t: Vec<_> = s.iter().collect();
-        t.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        t.sort_by_key(|&(r, c, _)| (r, c));
         assert_eq!(t, vec![(0, 1, 2.0), (1, 0, 2.0), (2, 2, 1.0)]);
     }
 

@@ -34,14 +34,27 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(rowptr.len(), nrows + 1, "rowptr must have nrows+1 entries");
         assert_eq!(rowptr[0], 0, "rowptr must start at 0");
-        assert_eq!(*rowptr.last().expect("nonempty"), colind.len(), "rowptr must end at nnz");
-        assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr must be non-decreasing");
+        assert_eq!(
+            *rowptr.last().expect("nonempty"),
+            colind.len(),
+            "rowptr must end at nnz"
+        );
+        assert!(
+            rowptr.windows(2).all(|w| w[0] <= w[1]),
+            "rowptr must be non-decreasing"
+        );
         assert_eq!(colind.len(), values.len(), "colind/values length mismatch");
         assert!(
             colind.iter().all(|&c| (c as usize) < ncols),
             "column index out of bounds"
         );
-        Self { nrows, ncols, rowptr, colind, values }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// Converts from COO, sorting triplets and summing duplicates.
@@ -167,10 +180,10 @@ impl CsrMatrix {
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.nrows.min(self.ncols);
         let mut d = vec![0.0; n];
-        for i in 0..n {
+        for (i, di) in d.iter_mut().enumerate() {
             for k in self.rowptr[i]..self.rowptr[i + 1] {
                 if self.colind[k] as usize == i {
-                    d[i] = self.values[k];
+                    *di = self.values[k];
                     break;
                 }
             }

@@ -67,7 +67,11 @@ impl DeltaCsrMatrix {
         let nnz = csr.nnz();
         let bytes8 = nnz + exc8 * 4;
         let bytes16 = nnz * 2 + exc16 * 4;
-        let width = if bytes8 <= bytes16 { DeltaWidth::U8 } else { DeltaWidth::U16 };
+        let width = if bytes8 <= bytes16 {
+            DeltaWidth::U8
+        } else {
+            DeltaWidth::U16
+        };
         Self::from_csr_with_width(csr, width)
     }
 
@@ -334,7 +338,10 @@ mod tests {
         let d = DeltaCsrMatrix::from_csr(&csr);
         assert_eq!(d.width(), DeltaWidth::U8);
         assert_eq!(d.to_csr(), csr);
-        assert!(d.index_compression_ratio() < 0.6, "banded matrix must compress well");
+        assert!(
+            d.index_compression_ratio() < 0.6,
+            "banded matrix must compress well"
+        );
     }
 
     #[test]

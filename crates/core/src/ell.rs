@@ -39,7 +39,14 @@ impl EllMatrix {
                 values[k * nrows + i] = v;
             }
         }
-        Self { nrows, ncols: csr.ncols(), width, colind, values, nnz: csr.nnz() }
+        Self {
+            nrows,
+            ncols: csr.ncols(),
+            width,
+            colind,
+            values,
+            nnz: csr.nnz(),
+        }
     }
 
     /// Number of rows.

@@ -30,7 +30,11 @@ impl Default for CsrKernelConfig {
     /// The paper's baseline: scalar loop, no prefetch, static nnz-balanced
     /// one-dimensional row partitioning.
     fn default() -> Self {
-        Self { inner: InnerLoop::Scalar, prefetch: false, schedule: Schedule::StaticNnz }
+        Self {
+            inner: InnerLoop::Scalar,
+            prefetch: false,
+            schedule: Schedule::StaticNnz,
+        }
     }
 }
 
@@ -79,9 +83,9 @@ impl SpmvKernel for SerialCsr {
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         let m = &self.matrix;
         check_operands(m.nrows(), m.ncols(), x, y);
-        for i in 0..m.nrows() {
+        for (i, yi) in y.iter_mut().enumerate() {
             // The paper's inner loop: y[i] += val[j] * x[colind[j]].
-            y[i] = row_dot(InnerLoop::Scalar, false, m.row_cols(i), m.row_vals(i), x);
+            *yi = row_dot(InnerLoop::Scalar, false, m.row_cols(i), m.row_vals(i), x);
         }
     }
 
@@ -106,7 +110,13 @@ impl ParallelCsr {
     pub fn new(matrix: Arc<CsrMatrix>, config: CsrKernelConfig, ctx: Arc<ExecCtx>) -> Self {
         let resolved = config.schedule.resolve(&matrix, ctx.nthreads());
         let inner = config.inner.resolve_for_host();
-        Self { matrix, ctx, config, resolved, inner }
+        Self {
+            matrix,
+            ctx,
+            config,
+            resolved,
+            inner,
+        }
     }
 
     /// Baseline parallel kernel (paper Section IV-A).
@@ -215,7 +225,11 @@ mod tests {
                     Schedule::Guided { min_chunk: 2 },
                     Schedule::Auto,
                 ] {
-                    let cfg = CsrKernelConfig { inner, prefetch, schedule: schedule.clone() };
+                    let cfg = CsrKernelConfig {
+                        inner,
+                        prefetch,
+                        schedule: schedule.clone(),
+                    };
                     let k = ParallelCsr::new(m.clone(), cfg, ctx.clone());
                     let mut y = vec![f64::NAN; 200];
                     k.spmv(&x, &mut y);

@@ -37,10 +37,12 @@ impl DecomposedKernel {
             Schedule::StaticRows => {
                 ResolvedSchedule::Static(Partition::by_rows(matrix.nrows(), ctx.nthreads()))
             }
-            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic { chunk: (*chunk).max(1) },
-            Schedule::Guided { min_chunk } => {
-                ResolvedSchedule::Guided { min_chunk: (*min_chunk).max(1) }
-            }
+            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic {
+                chunk: (*chunk).max(1),
+            },
+            Schedule::Guided { min_chunk } => ResolvedSchedule::Guided {
+                min_chunk: (*min_chunk).max(1),
+            },
             // StaticNnz / Auto: balance on the short-row pointer (long rows
             // contribute zero weight, which is exactly right here).
             _ => ResolvedSchedule::Static(Partition::by_rowptr(
@@ -48,7 +50,13 @@ impl DecomposedKernel {
                 ctx.nthreads(),
             )),
         };
-        Self { matrix, ctx, phase1, inner: inner.resolve_for_host(), prefetch }
+        Self {
+            matrix,
+            ctx,
+            phase1,
+            inner: inner.resolve_for_host(),
+            prefetch,
+        }
     }
 
     /// Default decomposition kernel: baseline inner loop + nnz-balanced
@@ -165,7 +173,11 @@ mod tests {
 
         let threshold = DecomposedCsrMatrix::auto_threshold(&csr, 4.0);
         let dec = Arc::new(DecomposedCsrMatrix::from_csr(&csr, threshold));
-        assert_eq!(dec.long_rows().len(), 3, "the three dense rows must split out");
+        assert_eq!(
+            dec.long_rows().len(),
+            3,
+            "the three dense rows must split out"
+        );
 
         for nthreads in [1, 2, 4, 7] {
             let ctx = ExecCtx::new(nthreads);

@@ -45,13 +45,16 @@ impl DeltaKernel {
         // Schedules needing row-length information resolve against the
         // rowptr, which the delta format preserves verbatim.
         let resolved = match &schedule {
-            Schedule::StaticRows => ResolvedSchedule::Static(
-                crate::partition::Partition::by_rows(matrix.nrows(), ctx.nthreads()),
-            ),
-            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic { chunk: (*chunk).max(1) },
-            Schedule::Guided { min_chunk } => {
-                ResolvedSchedule::Guided { min_chunk: (*min_chunk).max(1) }
-            }
+            Schedule::StaticRows => ResolvedSchedule::Static(crate::partition::Partition::by_rows(
+                matrix.nrows(),
+                ctx.nthreads(),
+            )),
+            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic {
+                chunk: (*chunk).max(1),
+            },
+            Schedule::Guided { min_chunk } => ResolvedSchedule::Guided {
+                min_chunk: (*min_chunk).max(1),
+            },
             // StaticNnz and Auto both fall back to nnz-balanced static over
             // the preserved rowptr.
             _ => ResolvedSchedule::Static(crate::partition::Partition::by_rowptr(
@@ -59,7 +62,13 @@ impl DeltaKernel {
                 ctx.nthreads(),
             )),
         };
-        Self { matrix, ctx, resolved, inner: inner.resolve_for_host(), prefetch }
+        Self {
+            matrix,
+            ctx,
+            resolved,
+            inner: inner.resolve_for_host(),
+            prefetch,
+        }
     }
 
     /// The paper's MB configuration: compression + vectorization, baseline
@@ -83,7 +92,13 @@ impl DeltaKernel {
             while k < decoded.len() {
                 let take = (decoded.len() - k).min(DECODE_BLOCK);
                 cols_buf[..take].copy_from_slice(&decoded[k..k + take]);
-                sum += row_dot(self.inner, self.prefetch, &cols_buf[..take], &vals[k..k + take], x);
+                sum += row_dot(
+                    self.inner,
+                    self.prefetch,
+                    &cols_buf[..take],
+                    &vals[k..k + take],
+                    x,
+                );
                 k += take;
             }
             sum

@@ -26,7 +26,7 @@ pub fn regularize_colind(csr: &CsrMatrix) -> CsrMatrix {
     let ncols = csr.ncols();
     for i in 0..csr.nrows() {
         let c = i.min(ncols.saturating_sub(1)) as u32;
-        colind.extend(std::iter::repeat(c).take(csr.row_nnz(i)));
+        colind.extend(std::iter::repeat_n(c, csr.row_nnz(i)));
     }
     CsrMatrix::from_raw(
         csr.nrows(),
@@ -50,7 +50,11 @@ impl UnitStrideCsr {
     /// Builds the micro-benchmark kernel with the baseline schedule.
     pub fn new(matrix: Arc<CsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
         let resolved = Schedule::StaticNnz.resolve(&matrix, ctx.nthreads());
-        Self { matrix, ctx, resolved }
+        Self {
+            matrix,
+            ctx,
+            resolved,
+        }
     }
 }
 
@@ -142,9 +146,9 @@ mod tests {
         let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let mut y = vec![0.0; 30];
         k.spmv(&x, &mut y);
-        for i in 0..30 {
+        for (i, &yi) in y.iter().enumerate() {
             let expect: f64 = m.row_vals(i).iter().sum::<f64>() * i as f64;
-            assert!((y[i] - expect).abs() < 1e-12);
+            assert!((yi - expect).abs() < 1e-12);
         }
     }
 

@@ -179,7 +179,9 @@ mod tests {
     use super::*;
 
     fn case(n: usize) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
-        let cols: Vec<u32> = (0..n).map(|k| ((k * 7 + 3) % (n.max(1) * 2)) as u32).collect();
+        let cols: Vec<u32> = (0..n)
+            .map(|k| ((k * 7 + 3) % (n.max(1) * 2)) as u32)
+            .collect();
         let vals: Vec<f64> = (0..n).map(|k| (k as f64 * 0.37).cos()).collect();
         let x: Vec<f64> = (0..n.max(1) * 2).map(|k| (k as f64 * 0.11).sin()).collect();
         (cols, vals, x)

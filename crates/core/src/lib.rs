@@ -54,8 +54,8 @@ pub mod prelude {
     pub use crate::delta::{DeltaCsrMatrix, DeltaWidth};
     pub use crate::ell::EllMatrix;
     pub use crate::kernels::{
-        gflops, CsrKernelConfig, DecomposedKernel, DeltaKernel, InnerLoop, ParallelCsr, SerialCsr, SpmvKernel,
-        UnitStrideCsr,
+        gflops, CsrKernelConfig, DecomposedKernel, DeltaKernel, InnerLoop, ParallelCsr, SerialCsr,
+        SpmvKernel, UnitStrideCsr,
     };
     pub use crate::partition::Partition;
     pub use crate::pool::ExecCtx;

@@ -182,7 +182,10 @@ mod tests {
         let m = ragged(8, &[1, 1, 1, 100, 1, 1, 1, 1]);
         let p = Partition::by_nnz(&m, 4);
         assert_eq!(p.len(), 4);
-        assert!(p.imbalance_factor(&m) > 3.0, "dominant row forces imbalance");
+        assert!(
+            p.imbalance_factor(&m) > 3.0,
+            "dominant row forces imbalance"
+        );
         let total: usize = p.nnz_per_part(&m).iter().sum();
         assert_eq!(total, m.nnz());
     }
@@ -200,6 +203,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "cover all rows")]
     fn from_ranges_validates_cover() {
-        Partition::from_ranges(4, vec![0..2]);
+        Partition::from_ranges(4, std::iter::once(0..2).collect());
     }
 }

@@ -26,13 +26,21 @@ impl ExecCtx {
             .thread_name(|i| format!("sparseopt-worker-{i}"))
             .build()
             .expect("failed to build thread pool");
-        let times_ns = (0..nthreads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
-        Arc::new(Self { pool, nthreads, times_ns })
+        let times_ns = (0..nthreads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect();
+        Arc::new(Self {
+            pool,
+            nthreads,
+            times_ns,
+        })
     }
 
     /// A context sized to the host's available parallelism.
     pub fn host() -> Arc<Self> {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Self::new(n)
     }
 
@@ -69,8 +77,11 @@ impl ExecCtx {
     /// Median of the last per-thread times in seconds — the `t_median` of the
     /// paper's `P_IMB` bound.
     pub fn last_median_secs(&self) -> f64 {
-        let secs: Vec<f64> =
-            self.last_thread_times().iter().map(|d| d.as_secs_f64()).collect();
+        let secs: Vec<f64> = self
+            .last_thread_times()
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect();
         crate::util::median(&secs).unwrap_or(0.0)
     }
 
@@ -85,7 +96,9 @@ impl ExecCtx {
 
 impl std::fmt::Debug for ExecCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExecCtx").field("nthreads", &self.nthreads).finish()
+        f.debug_struct("ExecCtx")
+            .field("nthreads", &self.nthreads)
+            .finish()
     }
 }
 

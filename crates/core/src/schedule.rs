@@ -49,10 +49,12 @@ impl Schedule {
                 ResolvedSchedule::Static(Partition::by_rows(csr.nrows(), nthreads))
             }
             Schedule::StaticNnz => ResolvedSchedule::Static(Partition::by_nnz(csr, nthreads)),
-            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic { chunk: (*chunk).max(1) },
-            Schedule::Guided { min_chunk } => {
-                ResolvedSchedule::Guided { min_chunk: (*min_chunk).max(1) }
-            }
+            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic {
+                chunk: (*chunk).max(1),
+            },
+            Schedule::Guided { min_chunk } => ResolvedSchedule::Guided {
+                min_chunk: (*min_chunk).max(1),
+            },
             Schedule::Auto => resolve_auto(csr, nthreads),
         }
     }
@@ -79,7 +81,9 @@ fn resolve_auto(csr: &CsrMatrix, nthreads: usize) -> ResolvedSchedule {
         let chunk = (n / (nthreads * 16)).clamp(4, 1024);
         ResolvedSchedule::Dynamic { chunk }
     } else if avg > 0.0 && sd > 2.0 * avg {
-        ResolvedSchedule::Guided { min_chunk: (n / (nthreads * 16)).clamp(4, 1024) }
+        ResolvedSchedule::Guided {
+            min_chunk: (n / (nthreads * 16)).clamp(4, 1024),
+        }
     } else {
         ResolvedSchedule::Static(Partition::by_nnz(csr, nthreads))
     }
@@ -195,7 +199,11 @@ mod tests {
             }
         });
         for (i, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::SeqCst), 1, "row {i} processed wrong number of times");
+            assert_eq!(
+                c.load(Ordering::SeqCst),
+                1,
+                "row {i} processed wrong number of times"
+            );
         }
     }
 

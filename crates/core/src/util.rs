@@ -26,7 +26,6 @@ impl<T> SendMutPtr<T> {
     pub(crate) unsafe fn write(&self, idx: usize, value: T) {
         unsafe { *self.0.add(idx) = value }
     }
-
 }
 
 /// Issues a read prefetch for the cache line containing `ptr` into L1
@@ -66,7 +65,11 @@ pub fn median(values: &[f64]) -> Option<f64> {
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in medians"));
     let mid = v.len() / 2;
-    Some(if v.len() % 2 == 1 { v[mid] } else { 0.5 * (v[mid - 1] + v[mid]) })
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    })
 }
 
 /// Harmonic mean, the summary statistic the paper uses for performance rates

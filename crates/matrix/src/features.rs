@@ -96,7 +96,11 @@ impl MatrixFeatures {
         let working_set = csr.footprint_bytes() + (csr.ncols() + csr.nrows()) * 8;
         Self {
             size_fits_llc: if working_set <= llc_bytes { 1.0 } else { 0.0 },
-            density: if n == 0 { 0.0 } else { nnz as f64 / (n as f64 * csr.ncols() as f64) },
+            density: if n == 0 {
+                0.0
+            } else {
+                nnz as f64 / (n as f64 * csr.ncols() as f64)
+            },
             nrows: n,
             nnz,
             nnz_min: nnz_stats.min(),
@@ -109,7 +113,11 @@ impl MatrixFeatures {
             bw_sd: bw_stats.sd(),
             scatter_avg: scatter_stats.mean(),
             scatter_sd: scatter_stats.sd(),
-            clustering_avg: if n == 0 { 0.0 } else { clustering_sum / n as f64 },
+            clustering_avg: if n == 0 {
+                0.0
+            } else {
+                clustering_sum / n as f64
+            },
             misses_avg: if n == 0 { 0.0 } else { misses_sum / n as f64 },
         }
     }
@@ -159,9 +167,14 @@ impl FeatureSet {
     /// Ordered feature names of the set.
     pub fn names(self) -> &'static [&'static str] {
         match self {
-            FeatureSet::LinearInRows => {
-                &["nnz_min", "nnz_max", "nnz_sd", "bw_avg", "dispersion_avg", "dispersion_sd"]
-            }
+            FeatureSet::LinearInRows => &[
+                "nnz_min",
+                "nnz_max",
+                "nnz_sd",
+                "bw_avg",
+                "dispersion_avg",
+                "dispersion_sd",
+            ],
             FeatureSet::LinearInNnz => &[
                 "size",
                 "bw_avg",
@@ -196,7 +209,13 @@ struct Stats {
 
 impl Stats {
     fn new() -> Self {
-        Self { n: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0, sumsq: 0.0 }
+        Self {
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            sumsq: 0.0,
+        }
     }
 
     fn push(&mut self, v: f64) {

@@ -39,7 +39,15 @@ pub fn banded(n: usize, band: usize) -> CooMatrix {
     let mut coo = CooMatrix::new(n, n);
     for i in 0..n {
         for j in i.saturating_sub(band)..(i + band + 1).min(n) {
-            coo.push(i, j, if i == j { 2.0 * band as f64 + 1.0 } else { value_for(i, j) });
+            coo.push(
+                i,
+                j,
+                if i == j {
+                    2.0 * band as f64 + 1.0
+                } else {
+                    value_for(i, j)
+                },
+            );
         }
     }
     coo
@@ -138,7 +146,11 @@ pub fn blocked_fem(nblocks: usize, block: usize, blocks_per_row: usize, seed: u6
             for di in 0..block {
                 for dj in 0..block {
                     let (i, j) = (bi * block + di, bj * block + dj);
-                    let v = if i == j { block as f64 * blocks_per_row as f64 } else { value_for(i, j) };
+                    let v = if i == j {
+                        block as f64 * blocks_per_row as f64
+                    } else {
+                        value_for(i, j)
+                    };
                     coo.push(i, j, v);
                 }
             }
@@ -174,8 +186,8 @@ pub fn power_law(n: usize, avg_nnz_per_row: usize, alpha: f64, seed: u64) -> Coo
     let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
     let wsum: f64 = weights.iter().sum();
     let mut coo = CooMatrix::with_capacity(n, n, target_nnz + n);
-    for i in 0..n {
-        let len = ((weights[i] / wsum) * target_nnz as f64).round().max(1.0) as usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let len = ((w / wsum) * target_nnz as f64).round().max(1.0) as usize;
         let len = len.min(n);
         // Hubs are scattered through the index space, as in real web/social
         // graphs (crawl order does not sort by degree): a fixed coprime
@@ -201,7 +213,7 @@ fn scatter_index(i: usize, n: usize) -> usize {
     if n <= 1 {
         return 0;
     }
-    if n % 7919 == 0 {
+    if n.is_multiple_of(7919) {
         (i * 7907 + 13) % n
     } else {
         (i * 7919 + 13) % n
@@ -236,7 +248,10 @@ pub fn few_dense_rows(n: usize, background_nnz: usize, k: usize, seed: u64) -> C
 /// edges per vertex; `(a, b, c)` the recursive quadrant probabilities
 /// (`d = 1 − a − b − c`).
 pub fn rmat(scale: u32, edges_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> CooMatrix {
-    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities must sum below 1");
+    assert!(
+        a + b + c < 1.0 + 1e-9,
+        "quadrant probabilities must sum below 1"
+    );
     let n = 1usize << scale;
     let nedges = n * edges_factor;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -263,7 +278,11 @@ pub fn rmat(scale: u32, edges_factor: usize, a: f64, b: f64, c: f64, seed: u64) 
         // R-MAT's recursion biases mass toward low indices; scatter the
         // vertex ids so hub rows spread through the matrix like a real
         // crawl-ordered graph.
-        coo.push(scatter_index(r0, n), scatter_index(c0, n), rng.gen_range(-1.0..1.0));
+        coo.push(
+            scatter_index(r0, n),
+            scatter_index(c0, n),
+            rng.gen_range(-1.0..1.0),
+        );
     }
     coo
 }
@@ -326,8 +345,7 @@ mod tests {
         // Diagonally dominant.
         for i in 0..64 {
             let diag = m.diagonal()[i];
-            let off: f64 =
-                m.row_vals(i).iter().map(|v| v.abs()).sum::<f64>() - diag.abs();
+            let off: f64 = m.row_vals(i).iter().map(|v| v.abs()).sum::<f64>() - diag.abs();
             assert!(diag >= off);
         }
     }
@@ -356,7 +374,10 @@ mod tests {
         let lens: Vec<usize> = (0..1024).map(|i| m.row_nnz(i)).collect();
         let max = *lens.iter().max().unwrap() as f64;
         let avg = m.nnz() as f64 / 1024.0;
-        assert!(max > 4.0 * avg, "rmat should be skewed (max {max}, avg {avg})");
+        assert!(
+            max > 4.0 * avg,
+            "rmat should be skewed (max {max}, avg {avg})"
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub struct Permutation {
 impl Permutation {
     /// Identity permutation.
     pub fn identity(n: usize) -> Self {
-        Self { forward: (0..n as u32).collect() }
+        Self {
+            forward: (0..n as u32).collect(),
+        }
     }
 
     /// Builds from an explicit old→new map.
@@ -63,7 +65,11 @@ impl Permutation {
     /// Symmetric application `P A Pᵀ`: permutes both rows and columns of a
     /// square matrix.
     pub fn permute_symmetric(&self, csr: &CsrMatrix) -> CsrMatrix {
-        assert_eq!(csr.nrows(), csr.ncols(), "symmetric permutation needs a square matrix");
+        assert_eq!(
+            csr.nrows(),
+            csr.ncols(),
+            "symmetric permutation needs a square matrix"
+        );
         assert_eq!(csr.nrows(), self.len(), "permutation length mismatch");
         let mut coo = CooMatrix::with_capacity(csr.nrows(), csr.ncols(), csr.nnz());
         for (r, c, v) in csr.iter() {
@@ -195,7 +201,10 @@ mod tests {
             f
         });
         let scrambled = scramble.permute_symmetric(&base);
-        assert!(bandwidth(&scrambled) > 100, "scramble must destroy the band");
+        assert!(
+            bandwidth(&scrambled) > 100,
+            "scramble must destroy the band"
+        );
 
         let rcm = reverse_cuthill_mckee(&scrambled);
         let restored = rcm.permute_symmetric(&scrambled);

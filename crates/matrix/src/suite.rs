@@ -89,128 +89,198 @@ fn csr(coo: sparseopt_core::coo::CooMatrix) -> CsrMatrix {
 /// The 32 recipes in the paper's x-axis order (Fig. 1/3/7).
 fn recipes() -> Vec<Recipe> {
     vec![
-        Recipe { name: "small-dense", uf_nnz: 0, category: Category::Dense, build: || csr(g::dense(96)) },
-        Recipe { name: "poisson3Db", uf_nnz: 2374949,
+        Recipe {
+            name: "small-dense",
+            uf_nnz: 0,
+            category: Category::Dense,
+            build: || csr(g::dense(96)),
+        },
+        Recipe {
+            name: "poisson3Db",
+            uf_nnz: 2374949,
             category: Category::Stencil,
             build: || csr(g::poisson3d(14, 14, 14)),
         },
-        Recipe { name: "citationCiteseer", uf_nnz: 2313294,
+        Recipe {
+            name: "citationCiteseer",
+            uf_nnz: 2313294,
             category: Category::PowerLaw,
             build: || csr(g::power_law(6000, 5, 0.7, 11)),
         },
-        Recipe { name: "pkustk08", uf_nnz: 8130343,
+        Recipe {
+            name: "pkustk08",
+            uf_nnz: 8130343,
             category: Category::BlockedFem,
             build: || csr(g::blocked_fem(300, 6, 4, 12)),
         },
-        Recipe { name: "ins2", uf_nnz: 2751484,
+        Recipe {
+            name: "ins2",
+            uf_nnz: 2751484,
             category: Category::FewDenseRows,
             build: || csr(g::few_dense_rows(4000, 3, 4, 13)),
         },
-        Recipe { name: "FEM_3D_thermal2", uf_nnz: 3489300,
+        Recipe {
+            name: "FEM_3D_thermal2",
+            uf_nnz: 3489300,
             category: Category::Stencil,
             build: || csr(g::poisson3d(16, 16, 16)),
         },
-        Recipe { name: "delaunay_n19", uf_nnz: 3145646,
+        Recipe {
+            name: "delaunay_n19",
+            uf_nnz: 3145646,
             category: Category::Stencil,
             build: || csr(g::poisson2d(90, 90)),
         },
-        Recipe { name: "barrier2-12", uf_nnz: 3897557,
+        Recipe {
+            name: "barrier2-12",
+            uf_nnz: 3897557,
             category: Category::BlockedFem,
             build: || csr(g::blocked_fem(800, 4, 3, 14)),
         },
-        Recipe { name: "parabolic_fem", uf_nnz: 3674625,
+        Recipe {
+            name: "parabolic_fem",
+            uf_nnz: 3674625,
             category: Category::Stencil,
             build: || csr(g::poisson3d(20, 20, 10)),
         },
-        Recipe { name: "offshore", uf_nnz: 4242673,
+        Recipe {
+            name: "offshore",
+            uf_nnz: 4242673,
             category: Category::BlockedFem,
             build: || csr(g::blocked_fem(1000, 4, 4, 15)),
         },
-        Recipe { name: "webbase-1M", uf_nnz: 3105536,
+        Recipe {
+            name: "webbase-1M",
+            uf_nnz: 3105536,
             category: Category::PowerLaw,
             build: || csr(g::power_law(10000, 3, 1.2, 16)),
         },
-        Recipe { name: "ASIC_680k", uf_nnz: 3871773,
+        Recipe {
+            name: "ASIC_680k",
+            uf_nnz: 3871773,
             category: Category::FewDenseRows,
             build: || csr(g::few_dense_rows(8000, 2, 4, 17)),
         },
-        Recipe { name: "consph", uf_nnz: 6010480,
+        Recipe {
+            name: "consph",
+            uf_nnz: 6010480,
             category: Category::BlockedFem,
             build: || csr(g::blocked_fem(1200, 6, 6, 18)),
         },
-        Recipe { name: "amazon-2008", uf_nnz: 5158388,
+        Recipe {
+            name: "amazon-2008",
+            uf_nnz: 5158388,
             category: Category::PowerLaw,
             build: || csr(g::power_law(8000, 6, 0.5, 19)),
         },
-        Recipe { name: "web-Google", uf_nnz: 5105039,
+        Recipe {
+            name: "web-Google",
+            uf_nnz: 5105039,
             category: Category::PowerLaw,
             build: || csr(g::power_law(8000, 6, 0.8, 20)),
         },
-        Recipe { name: "rajat30", uf_nnz: 6175377,
+        Recipe {
+            name: "rajat30",
+            uf_nnz: 6175377,
             category: Category::FewDenseRows,
             build: || csr(g::few_dense_rows(10000, 2, 6, 21)),
         },
-        Recipe { name: "degme", uf_nnz: 8127528,
+        Recipe {
+            name: "degme",
+            uf_nnz: 8127528,
             category: Category::FewDenseRows,
             build: || csr(g::few_dense_rows(4000, 3, 8, 22)),
         },
-        Recipe { name: "pattern1", uf_nnz: 9323432,
+        Recipe {
+            name: "pattern1",
+            uf_nnz: 9323432,
             category: Category::RandomUniform,
             build: || csr(g::random_uniform(2000, 48, 23)),
         },
-        Recipe { name: "G3_circuit", uf_nnz: 7660826,
+        Recipe {
+            name: "G3_circuit",
+            uf_nnz: 7660826,
             category: Category::Stencil,
             build: || csr(g::poisson2d(120, 120)),
         },
-        Recipe { name: "thermal2", uf_nnz: 8580313,
+        Recipe {
+            name: "thermal2",
+            uf_nnz: 8580313,
             category: Category::Stencil,
             build: || csr(g::poisson2d(110, 110)),
         },
-        Recipe { name: "flickr", uf_nnz: 9837214,
+        Recipe {
+            name: "flickr",
+            uf_nnz: 9837214,
             category: Category::PowerLaw,
             build: || csr(g::power_law(9000, 8, 1.1, 24)),
         },
-        Recipe { name: "SiO2", uf_nnz: 11283503,
+        Recipe {
+            name: "SiO2",
+            uf_nnz: 11283503,
             category: Category::RandomUniform,
             build: || csr(g::random_uniform(3000, 30, 25)),
         },
-        Recipe { name: "TSOPF_RS_b2383", uf_nnz: 16171169,
+        Recipe {
+            name: "TSOPF_RS_b2383",
+            uf_nnz: 16171169,
             category: Category::BlockedFem,
             build: || csr(g::blocked_fem(400, 8, 5, 26)),
         },
-        Recipe { name: "Ga41As41H72", uf_nnz: 18488476,
+        Recipe {
+            name: "Ga41As41H72",
+            uf_nnz: 18488476,
             category: Category::RandomUniform,
             build: || csr(g::random_uniform(4000, 40, 27)),
         },
-        Recipe { name: "eu-2005", uf_nnz: 19235140,
+        Recipe {
+            name: "eu-2005",
+            uf_nnz: 19235140,
             category: Category::PowerLaw,
             build: || csr(g::power_law(9000, 10, 1.0, 28)),
         },
-        Recipe { name: "wikipedia-20051105", uf_nnz: 19753078,
+        Recipe {
+            name: "wikipedia-20051105",
+            uf_nnz: 19753078,
             category: Category::PowerLaw,
             build: || csr(g::rmat(13, 6, 0.57, 0.19, 0.19, 29)),
         },
-        Recipe { name: "human_gene1", uf_nnz: 24669643,
+        Recipe {
+            name: "human_gene1",
+            uf_nnz: 24669643,
             category: Category::RandomUniform,
             build: || csr(g::random_uniform(1200, 300, 30)),
         },
-        Recipe { name: "nd24k", uf_nnz: 28715634,
+        Recipe {
+            name: "nd24k",
+            uf_nnz: 28715634,
             category: Category::BlockedFem,
             build: || csr(g::blocked_fem(300, 12, 8, 31)),
         },
-        Recipe { name: "FullChip", uf_nnz: 26621990,
+        Recipe {
+            name: "FullChip",
+            uf_nnz: 26621990,
             category: Category::FewDenseRows,
             build: || csr(g::few_dense_rows(12000, 2, 5, 32)),
         },
-        Recipe { name: "boneS10", uf_nnz: 55468422,
+        Recipe {
+            name: "boneS10",
+            uf_nnz: 55468422,
             category: Category::BlockedFem,
             build: || csr(g::blocked_fem(1500, 6, 6, 33)),
         },
-        Recipe { name: "circuit5M", uf_nnz: 59524291,
+        Recipe {
+            name: "circuit5M",
+            uf_nnz: 59524291,
             category: Category::FewDenseRows,
             build: || csr(g::few_dense_rows(14000, 2, 8, 34)),
         },
-        Recipe { name: "large-dense", uf_nnz: 40000000, category: Category::Dense, build: || csr(g::dense(1500)) },
+        Recipe {
+            name: "large-dense",
+            uf_nnz: 40000000,
+            category: Category::Dense,
+            build: || csr(g::dense(1500)),
+        },
     ]
 }
 
@@ -221,7 +291,12 @@ pub fn paper_suite() -> Vec<SuiteMatrix> {
         .map(|r| {
             let csr = Arc::new((r.build)());
             let scale = scale_for(r.uf_nnz, csr.nnz());
-            SuiteMatrix { name: r.name, category: r.category, csr, scale }
+            SuiteMatrix {
+                name: r.name,
+                category: r.category,
+                csr,
+                scale,
+            }
         })
         .collect()
 }
@@ -240,7 +315,12 @@ pub fn by_name(name: &str) -> Option<SuiteMatrix> {
     recipes().into_iter().find(|r| r.name == name).map(|r| {
         let csr = Arc::new((r.build)());
         let scale = scale_for(r.uf_nnz, csr.nnz());
-        SuiteMatrix { name: r.name, category: r.category, csr, scale }
+        SuiteMatrix {
+            name: r.name,
+            category: r.category,
+            csr,
+            scale,
+        }
     })
 }
 
@@ -254,7 +334,8 @@ pub fn suite_names() -> Vec<&'static str> {
 /// variety of application domains"). Parameterized sweeps over every
 /// generator category; deterministic across runs.
 pub fn training_suite() -> Vec<SuiteMatrix> {
-    let mut specs: Vec<(String, Category, Box<dyn Fn() -> CsrMatrix + Send + Sync>)> = Vec::new();
+    type TrainSpec = (String, Category, Box<dyn Fn() -> CsrMatrix + Send + Sync>);
+    let mut specs: Vec<TrainSpec> = Vec::new();
 
     // 30 stencils of varying dimensionality and size.
     for (k, s) in (0..30).map(|k| (k, 6 + k * 2)) {
@@ -343,7 +424,11 @@ pub fn training_suite() -> Vec<SuiteMatrix> {
         ));
     }
 
-    assert_eq!(specs.len(), 210, "training suite must have exactly 210 matrices");
+    assert_eq!(
+        specs.len(),
+        210,
+        "training suite must have exactly 210 matrices"
+    );
     specs
         .into_par_iter()
         .enumerate()
@@ -390,7 +475,10 @@ mod tests {
         cats.dedup();
         let unique: std::collections::HashSet<_> =
             suite.iter().map(|m| format!("{:?}", m.category)).collect();
-        assert!(unique.len() >= 5, "suite must span at least 5 structural categories");
+        assert!(
+            unique.len() >= 5,
+            "suite must span at least 5 structural categories"
+        );
     }
 
     #[test]

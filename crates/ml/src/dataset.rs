@@ -17,7 +17,12 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset with the given schema.
     pub fn new(feature_names: Vec<String>, label_names: Vec<String>) -> Self {
-        Self { features: Vec::new(), labels: Vec::new(), feature_names, label_names }
+        Self {
+            features: Vec::new(),
+            labels: Vec::new(),
+            feature_names,
+            label_names,
+        }
     }
 
     /// Appends one sample.
@@ -25,7 +30,11 @@ impl Dataset {
     /// # Panics
     /// Panics when the row widths disagree with the schema.
     pub fn push(&mut self, features: Vec<f64>, labels: Vec<bool>) {
-        assert_eq!(features.len(), self.feature_names.len(), "feature width mismatch");
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "feature width mismatch"
+        );
         assert_eq!(labels.len(), self.label_names.len(), "label width mismatch");
         self.features.push(features);
         self.labels.push(labels);
@@ -71,7 +80,10 @@ impl Dataset {
                 .map(|row| cols.iter().map(|&c| row[c]).collect())
                 .collect(),
             labels: self.labels.clone(),
-            feature_names: cols.iter().map(|&c| self.feature_names[c].clone()).collect(),
+            feature_names: cols
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
             label_names: self.label_names.clone(),
         }
     }
@@ -82,10 +94,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let mut d = Dataset::new(
-            vec!["a".into(), "b".into()],
-            vec!["l0".into(), "l1".into()],
-        );
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], vec!["l0".into(), "l1".into()]);
         d.push(vec![1.0, 2.0], vec![true, false]);
         d.push(vec![3.0, 4.0], vec![false, true]);
         d.push(vec![5.0, 6.0], vec![true, true]);

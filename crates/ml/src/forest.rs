@@ -23,7 +23,12 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        Self { n_trees: 25, tree: TreeParams::default(), max_features: 0, seed: 0x5eed }
+        Self {
+            n_trees: 25,
+            tree: TreeParams::default(),
+            max_features: 0,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -88,7 +93,11 @@ impl RandomForest {
             let sub = data.subset(&rows).select_features(&cols);
             trees.push((DecisionTree::fit(&sub, params.tree), cols));
         }
-        Self { trees, nlabels: data.nlabels(), nfeatures: nf }
+        Self {
+            trees,
+            nlabels: data.nlabels(),
+            nfeatures: nf,
+        }
     }
 
     /// Mean per-label probability across trees.
@@ -144,8 +153,7 @@ impl RandomForest {
     }
 
     fn exact_accuracy(&self, data: &Dataset) -> f64 {
-        let preds: Vec<Vec<bool>> =
-            data.features.iter().map(|x| self.predict(x)).collect();
+        let preds: Vec<Vec<bool>> = data.features.iter().map(|x| self.predict(x)).collect();
         crate::metrics::exact_match_ratio(&preds, &data.labels)
     }
 }
@@ -157,7 +165,12 @@ mod tests {
     /// Two informative features, two noise features.
     fn corpus(n: usize) -> Dataset {
         let mut d = Dataset::new(
-            vec!["sig1".into(), "noise1".into(), "sig2".into(), "noise2".into()],
+            vec![
+                "sig1".into(),
+                "noise1".into(),
+                "sig2".into(),
+                "noise2".into(),
+            ],
             vec!["a".into(), "b".into()],
         );
         let mut rng = XorShift(42);
@@ -198,8 +211,20 @@ mod tests {
     #[test]
     fn seeds_change_the_forest() {
         let d = corpus(100);
-        let a = RandomForest::fit(&d, ForestParams { seed: 1, ..Default::default() });
-        let b = RandomForest::fit(&d, ForestParams { seed: 2, ..Default::default() });
+        let a = RandomForest::fit(
+            &d,
+            ForestParams {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = RandomForest::fit(
+            &d,
+            ForestParams {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         // Probabilities (not necessarily hard predictions) should differ
         // somewhere.
         let differs = d
@@ -214,7 +239,11 @@ mod tests {
         let d = corpus(300);
         let f = RandomForest::fit(
             &d,
-            ForestParams { n_trees: 40, max_features: 2, ..Default::default() },
+            ForestParams {
+                n_trees: 40,
+                max_features: 2,
+                ..Default::default()
+            },
         );
         let imp = f.permutation_importance(&d, 7);
         assert_eq!(imp.len(), 4);
@@ -229,7 +258,11 @@ mod tests {
         let d = corpus(50);
         let f = RandomForest::fit(
             &d,
-            ForestParams { n_trees: 1, max_features: 4, ..Default::default() },
+            ForestParams {
+                n_trees: 1,
+                max_features: 4,
+                ..Default::default()
+            },
         );
         assert_eq!(f.len(), 1);
         let p = f.predict_proba(&d.features[0]);

@@ -15,7 +15,7 @@ pub mod validate;
 
 pub use dataset::Dataset;
 pub use forest::{ForestParams, RandomForest};
-pub use select::{exhaustive_select, forward_select, loo_exact_score, SelectedFeatures};
 pub use metrics::{exact_match_ratio, hamming_loss, partial_match_ratio, LabelScores};
+pub use select::{exhaustive_select, forward_select, loo_exact_score, SelectedFeatures};
 pub use tree::{DecisionTree, TreeParams};
 pub use validate::{cartesian2, grid_search, kfold_cv, loo_cv, Accuracy};

@@ -65,8 +65,11 @@ impl LabelScores {
     pub fn tally(pred: &[Vec<bool>], truth: &[Vec<bool>]) -> Self {
         assert_eq!(pred.len(), truth.len());
         let nlabels = pred.first().map_or(0, |p| p.len());
-        let (mut tp, mut fp, mut fn_) =
-            (vec![0usize; nlabels], vec![0usize; nlabels], vec![0usize; nlabels]);
+        let (mut tp, mut fp, mut fn_) = (
+            vec![0usize; nlabels],
+            vec![0usize; nlabels],
+            vec![0usize; nlabels],
+        );
         for (p, t) in pred.iter().zip(truth) {
             for l in 0..nlabels {
                 match (p[l], t[l]) {

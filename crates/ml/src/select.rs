@@ -28,11 +28,7 @@ pub fn loo_exact_score(data: &Dataset, columns: &[usize], params: TreeParams) ->
 /// Greedy forward selection: starting from the empty set, repeatedly add
 /// the feature that improves the score most, until no feature improves it
 /// or `max_features` is reached. Deterministic (ties to the lowest index).
-pub fn forward_select<F>(
-    nfeatures: usize,
-    max_features: usize,
-    mut score: F,
-) -> SelectedFeatures
+pub fn forward_select<F>(nfeatures: usize, max_features: usize, mut score: F) -> SelectedFeatures
 where
     F: FnMut(&[usize]) -> f64,
 {
@@ -49,7 +45,7 @@ where
             candidate.push(f);
             candidate.sort_unstable();
             let s = score(&candidate);
-            if best_add.map_or(true, |(_, bs)| s > bs) {
+            if best_add.is_none_or(|(_, bs)| s > bs) {
                 best_add = Some((f, s));
             }
         }
@@ -71,25 +67,33 @@ where
                 best = (f, s);
             }
         }
-        return SelectedFeatures { columns: vec![best.0], score: best.1 };
+        return SelectedFeatures {
+            columns: vec![best.0],
+            score: best.1,
+        };
     }
-    SelectedFeatures { columns: chosen, score: best_score }
+    SelectedFeatures {
+        columns: chosen,
+        score: best_score,
+    }
 }
 
 /// Exhaustive search over every subset of size `1..=max_size` (the paper's
 /// protocol). Cost is `O(C(n, k))` score evaluations — keep `max_size`
 /// small for wide feature tables.
-pub fn exhaustive_select<F>(
-    nfeatures: usize,
-    max_size: usize,
-    mut score: F,
-) -> SelectedFeatures
+pub fn exhaustive_select<F>(nfeatures: usize, max_size: usize, mut score: F) -> SelectedFeatures
 where
     F: FnMut(&[usize]) -> f64,
 {
     assert!(nfeatures > 0 && max_size > 0, "invalid search bounds");
-    assert!(nfeatures <= 24, "exhaustive search over >24 features is impractical");
-    let mut best = SelectedFeatures { columns: Vec::new(), score: f64::NEG_INFINITY };
+    assert!(
+        nfeatures <= 24,
+        "exhaustive search over >24 features is impractical"
+    );
+    let mut best = SelectedFeatures {
+        columns: Vec::new(),
+        score: f64::NEG_INFINITY,
+    };
     // Enumerate bitmasks grouped implicitly by popcount filter.
     for mask in 1u32..(1u32 << nfeatures) {
         let size = mask.count_ones() as usize;
@@ -98,10 +102,11 @@ where
         }
         let cols: Vec<usize> = (0..nfeatures).filter(|&f| mask & (1 << f) != 0).collect();
         let s = score(&cols);
-        if s > best.score + 1e-12
-            || (s > best.score - 1e-12 && cols.len() < best.columns.len())
-        {
-            best = SelectedFeatures { columns: cols, score: s };
+        if s > best.score + 1e-12 || (s > best.score - 1e-12 && cols.len() < best.columns.len()) {
+            best = SelectedFeatures {
+                columns: cols,
+                score: s,
+            };
         }
     }
     best
@@ -128,7 +133,11 @@ mod tests {
         let r = forward_select(5, 5, toy_score);
         assert!(r.columns.contains(&1));
         assert!(r.columns.contains(&3));
-        assert!(r.columns.len() <= 3, "noise features must be rejected: {:?}", r.columns);
+        assert!(
+            r.columns.len() <= 3,
+            "noise features must be rejected: {:?}",
+            r.columns
+        );
     }
 
     #[test]

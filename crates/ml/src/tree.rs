@@ -25,7 +25,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 4, min_samples_leaf: 1 }
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+        }
     }
 }
 
@@ -93,11 +97,18 @@ impl DecisionTree {
                 }
                 // Reserve our slot first so child ids are stable.
                 let id = self.nodes.len();
-                self.nodes.push(Node::Leaf { probs: Vec::new(), count: 0 });
+                self.nodes.push(Node::Leaf {
+                    probs: Vec::new(),
+                    count: 0,
+                });
                 let l = self.build(data, &left, depth + 1, p);
                 let r = self.build(data, &right, depth + 1, p);
-                self.nodes[id] =
-                    Node::Split { feature: split.feature, threshold: split.threshold, left: l, right: r };
+                self.nodes[id] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left: l,
+                    right: r,
+                };
                 id
             }
         }
@@ -118,8 +129,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { probs, .. } => return probs.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -137,7 +157,10 @@ impl DecisionTree {
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Maximum root-to-leaf depth.
@@ -176,11 +199,21 @@ impl DecisionTree {
                     .filter(|(_, &p)| p >= 0.5)
                     .map(|(i, _)| lnames.get(i).cloned().unwrap_or_else(|| format!("l{i}")))
                     .collect();
-                out.push_str(&format!("{pad}leaf[n={count}]: {{{}}}\n", labels.join(", ")));
+                out.push_str(&format!(
+                    "{pad}leaf[n={count}]: {{{}}}\n",
+                    labels.join(", ")
+                ));
             }
-            Node::Split { feature, threshold, left, right } => {
-                let fname =
-                    fnames.get(*feature).cloned().unwrap_or_else(|| format!("f{feature}"));
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let fname = fnames
+                    .get(*feature)
+                    .cloned()
+                    .unwrap_or_else(|| format!("f{feature}"));
                 out.push_str(&format!("{pad}if {fname} <= {threshold:.6}:\n"));
                 self.dump_node(*left, indent + 1, fnames, lnames, out);
                 out.push_str(&format!("{pad}else:\n"));
@@ -204,7 +237,10 @@ fn label_probs(data: &Dataset, idx: &[usize], nlabels: usize) -> Vec<f64> {
             counts[l] += usize::from(b);
         }
     }
-    counts.iter().map(|&c| c as f64 / idx.len().max(1) as f64).collect()
+    counts
+        .iter()
+        .map(|&c| c as f64 / idx.len().max(1) as f64)
+        .collect()
 }
 
 /// Multilabel Gini impurity: `Σ_labels 2·p·(1−p)` of a subset described by
@@ -224,12 +260,7 @@ fn gini(pos: &[usize], n: usize) -> f64 {
 
 /// Exhaustive best split: for each feature, sort `idx` by value and scan all
 /// boundaries between distinct values, tracking label counts incrementally.
-fn best_split(
-    data: &Dataset,
-    idx: &[usize],
-    nlabels: usize,
-    min_leaf: usize,
-) -> Option<Split> {
+fn best_split(data: &Dataset, idx: &[usize], nlabels: usize, min_leaf: usize) -> Option<Split> {
     let n = idx.len();
     let total_pos = {
         let mut t = vec![0usize; nlabels];
@@ -268,10 +299,12 @@ fn best_split(
             if nl < min_leaf || nr < min_leaf {
                 continue;
             }
-            let right_pos: Vec<usize> =
-                total_pos.iter().zip(&left_pos).map(|(&t, &l)| t - l).collect();
-            let w = (nl as f64 * gini(&left_pos, nl) + nr as f64 * gini(&right_pos, nr))
-                / n as f64;
+            let right_pos: Vec<usize> = total_pos
+                .iter()
+                .zip(&left_pos)
+                .map(|(&t, &l)| t - l)
+                .collect();
+            let w = (nl as f64 * gini(&left_pos, nl) + nr as f64 * gini(&right_pos, nr)) / n as f64;
             let gain = parent - w;
             // Zero-gain splits are accepted (as in scikit-learn's CART):
             // XOR-like targets only purify after a gain-free first cut. The
@@ -282,7 +315,14 @@ fn best_split(
                 Some((g, bal, _)) => gain > g + 1e-12 || (gain >= g - 1e-12 && balance > *bal),
             };
             if better {
-                best = Some((gain, balance, Split { feature: f, threshold: 0.5 * (v + v_next) }));
+                best = Some((
+                    gain,
+                    balance,
+                    Split {
+                        feature: f,
+                        threshold: 0.5 * (v + v_next),
+                    },
+                ));
             }
         }
     }
@@ -345,7 +385,10 @@ mod tests {
         let d = xor_dataset();
         let stump = DecisionTree::fit(
             &d,
-            TreeParams { max_depth: 1, ..TreeParams::default() },
+            TreeParams {
+                max_depth: 1,
+                ..TreeParams::default()
+            },
         );
         assert!(stump.depth() <= 1);
     }
@@ -359,7 +402,10 @@ mod tests {
         // A leaf of one sample would be needed to isolate the outlier.
         let t = DecisionTree::fit(
             &d,
-            TreeParams { min_samples_leaf: 3, ..TreeParams::default() },
+            TreeParams {
+                min_samples_leaf: 3,
+                ..TreeParams::default()
+            },
         );
         assert!(t.leaf_count() <= 4);
     }

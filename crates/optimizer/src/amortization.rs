@@ -29,15 +29,16 @@ pub fn conversion_cost_spmv(opt: Optimization) -> f64 {
         Optimization::Decompose => 2.0,
         // Scheduling / prefetch / unrolling only parameterize the generated
         // kernel; their cost is inside the JIT constant.
-        Optimization::AutoSchedule | Optimization::Prefetch | Optimization::UnrollVectorize => {
-            0.0
-        }
+        Optimization::AutoSchedule | Optimization::Prefetch | Optimization::UnrollVectorize => 0.0,
     }
 }
 
 /// Total conversion cost of a plan.
 pub fn plan_conversion_cost_spmv(plan: &OptimizationPlan) -> f64 {
-    plan.optimizations.iter().map(|&o| conversion_cost_spmv(o)).sum()
+    plan.optimizations
+        .iter()
+        .map(|&o| conversion_cost_spmv(o))
+        .sum()
 }
 
 /// The five optimizer strategies Table V compares.
@@ -93,13 +94,9 @@ impl OptimizerKind {
         let selected_cost = plan_conversion_cost_spmv(selected) + JIT_COST_SPMV;
         match self {
             // 5 candidate kernels, each converted, JIT-ed and timed.
-            OptimizerKind::TrivialSingle => {
-                all_single_cost + 5.0 * (TRIAL_ITERS + JIT_COST_SPMV)
-            }
+            OptimizerKind::TrivialSingle => all_single_cost + 5.0 * (TRIAL_ITERS + JIT_COST_SPMV),
             // 15 candidates.
-            OptimizerKind::TrivialCombined => {
-                all_pair_cost + 15.0 * (TRIAL_ITERS + JIT_COST_SPMV)
-            }
+            OptimizerKind::TrivialCombined => all_pair_cost + 15.0 * (TRIAL_ITERS + JIT_COST_SPMV),
             // Micro-benchmarks: baseline + P_ML kernel + P_CMP kernel, each
             // timed over TRIAL_ITERS; then the chosen plan's setup.
             OptimizerKind::ProfileGuided => 3.0 * TRIAL_ITERS + selected_cost,
@@ -144,7 +141,13 @@ pub fn summarize(label: &'static str, iters: &[Option<f64>]) -> AmortizationRow 
     let finite: Vec<f64> = iters.iter().flatten().copied().collect();
     let never = iters.len() - finite.len();
     if finite.is_empty() {
-        return AmortizationRow { label, best: f64::NAN, avg: f64::NAN, worst: f64::NAN, never };
+        return AmortizationRow {
+            label,
+            best: f64::NAN,
+            avg: f64::NAN,
+            worst: f64::NAN,
+            never,
+        };
     }
     AmortizationRow {
         label,
@@ -159,8 +162,8 @@ pub fn summarize(label: &'static str, iters: &[Option<f64>]) -> AmortizationRow 
 mod tests {
     use super::*;
     use crate::pool::OptimizationPlan;
-    use sparseopt_matrix::{generators as g, MatrixFeatures};
     use sparseopt_core::csr::CsrMatrix;
+    use sparseopt_matrix::{generators as g, MatrixFeatures};
 
     fn plan(opts: &[Optimization]) -> OptimizationPlan {
         let m = CsrMatrix::from_coo(&g::banded(200, 1));
@@ -182,7 +185,10 @@ mod tests {
         // also small (its disadvantage in Table V comes from smaller
         // per-iteration gains, which the amortization denominator captures).
         let p = plan(&[Optimization::Prefetch]);
-        let single: f64 = Optimization::ALL.iter().map(|&o| conversion_cost_spmv(o)).sum();
+        let single: f64 = Optimization::ALL
+            .iter()
+            .map(|&o| conversion_cost_spmv(o))
+            .sum();
         let pair = single * 4.0; // loose bound, shape only
         let feature = OptimizerKind::FeatureGuided.preprocessing_spmv_equiv(&p, single, pair);
         for kind in [
@@ -191,7 +197,11 @@ mod tests {
             OptimizerKind::ProfileGuided,
         ] {
             let c = kind.preprocessing_spmv_equiv(&p, single, pair);
-            assert!(feature < c, "{:?} ({c}) should cost more than feature ({feature})", kind);
+            assert!(
+                feature < c,
+                "{:?} ({c}) should cost more than feature ({feature})",
+                kind
+            );
         }
     }
 

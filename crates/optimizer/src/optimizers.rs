@@ -32,7 +32,11 @@ use std::sync::Arc;
 /// paper's own numbers imply this (the Inspector-Executor alone gains 4.89×
 /// over MKL CSR there), so the KNL stand-in runs the scalar loop.
 pub fn mkl_sim_config(platform: &Platform) -> SimKernelConfig {
-    let inner = if platform.name == "KNL" { InnerLoop::Scalar } else { InnerLoop::Simd };
+    let inner = if platform.name == "KNL" {
+        InnerLoop::Scalar
+    } else {
+        InnerLoop::Simd
+    };
     SimKernelConfig {
         format: SimFormat::Csr,
         inner,
@@ -244,7 +248,11 @@ pub struct OptimizedKernel {
 impl AdaptiveOptimizer {
     /// Creates an optimizer bound to an execution context.
     pub fn new(ctx: Arc<ExecCtx>) -> Self {
-        Self { ctx, classifier: ProfileGuidedClassifier::new(), llc_bytes: 32 * 1024 * 1024 }
+        Self {
+            ctx,
+            classifier: ProfileGuidedClassifier::new(),
+            llc_bytes: 32 * 1024 * 1024,
+        }
     }
 
     /// Profile-guided optimization: measures the per-class bounds with the
@@ -305,7 +313,12 @@ mod tests {
             let f = MatrixFeatures::extract(&csr, 30 * 1024 * 1024);
             let e = study.evaluate(&csr, &f, None);
             assert!(e.oracle >= e.baseline - 1e-9);
-            assert!(e.oracle >= e.prof - 1e-9, "oracle {} < prof {}", e.oracle, e.prof);
+            assert!(
+                e.oracle >= e.prof - 1e-9,
+                "oracle {} < prof {}",
+                e.oracle,
+                e.prof
+            );
         }
     }
 
@@ -321,7 +334,11 @@ mod tests {
             e.prof,
             e.mkl
         );
-        assert!(!e.classes_profile.is_empty(), "classes: {}", e.classes_profile);
+        assert!(
+            !e.classes_profile.is_empty(),
+            "classes: {}",
+            e.classes_profile
+        );
     }
 
     #[test]
@@ -330,7 +347,10 @@ mod tests {
         let csr = arc(g::few_dense_rows(20_000, 2, 4, 4));
         let f = MatrixFeatures::extract(&csr, 34 * 1024 * 1024);
         let e = study.evaluate(&csr, &f, None);
-        assert!(e.mkl_ie >= e.mkl * 0.95, "IE should not trail MKL meaningfully");
+        assert!(
+            e.mkl_ie >= e.mkl * 0.95,
+            "IE should not trail MKL meaningfully"
+        );
         assert!(e.prof >= e.mkl_ie, "adaptive {} vs IE {}", e.prof, e.mkl_ie);
     }
 
@@ -361,7 +381,10 @@ mod tests {
             assert_ne!(mkl_sim_config(&p), inspector_executor_sim_config());
             assert_eq!(mkl_sim_config(&p).schedule, Schedule::StaticRows);
         }
-        assert_eq!(inspector_executor_sim_config().schedule, Schedule::StaticNnz);
+        assert_eq!(
+            inspector_executor_sim_config().schedule,
+            Schedule::StaticNnz
+        );
         // The KNL legacy path is unvectorized (see mkl_sim_config docs).
         assert_eq!(mkl_sim_config(&Platform::knl()).inner, InnerLoop::Scalar);
         assert_eq!(mkl_sim_config(&Platform::knc()).inner, InnerLoop::Simd);

@@ -134,7 +134,10 @@ impl OptimizationPlan {
             .contains(&Optimization::Decompose)
             .then(|| ((features.nnz_avg * LONG_ROW_FACTOR).ceil() as usize).max(8));
         let wants_vector = optimizations.iter().any(|o| {
-            matches!(o, Optimization::CompressVectorize | Optimization::UnrollVectorize)
+            matches!(
+                o,
+                Optimization::CompressVectorize | Optimization::UnrollVectorize
+            )
         });
         let inner = if !wants_vector {
             InnerLoop::Scalar
@@ -143,7 +146,12 @@ impl OptimizationPlan {
         } else {
             InnerLoop::Unrolled4
         };
-        Self { classes, optimizations, decompose_threshold, inner }
+        Self {
+            classes,
+            optimizations,
+            decompose_threshold,
+            inner,
+        }
     }
 
     /// The explicit no-op plan (baseline kernel).
@@ -218,7 +226,11 @@ impl OptimizationPlan {
             let delta = Arc::new(DeltaCsrMatrix::from_csr(csr));
             Box::new(DeltaKernel::new(delta, inner, prefetch, schedule, ctx))
         } else {
-            let cfg = CsrKernelConfig { inner, prefetch, schedule };
+            let cfg = CsrKernelConfig {
+                inner,
+                prefetch,
+                schedule,
+            };
             Box::new(ParallelCsr::new(csr.clone(), cfg, ctx))
         }
     }
@@ -228,7 +240,11 @@ impl OptimizationPlan {
         if self.is_noop() {
             return "baseline".into();
         }
-        self.optimizations.iter().map(|o| o.label()).collect::<Vec<_>>().join("+")
+        self.optimizations
+            .iter()
+            .map(|o| o.label())
+            .collect::<Vec<_>>()
+            .join("+")
     }
 }
 
@@ -249,7 +265,10 @@ pub fn single_and_pair_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan>
         for j in i + 1..all.len() {
             // Decompose + AutoSchedule are alternatives for the same class;
             // their pair is still enumerated (the trivial optimizer is blind).
-            plans.push(OptimizationPlan::from_optimizations(&[all[i], all[j]], features));
+            plans.push(OptimizationPlan::from_optimizations(
+                &[all[i], all[j]],
+                features,
+            ));
         }
     }
     plans

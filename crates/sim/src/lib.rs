@@ -20,8 +20,7 @@ pub use cache::{CacheHierarchy, CacheSim};
 pub use membench::{host_platform, stream_triad_gbs};
 pub use model::{
     analytic_mb_bound, analytic_peak_bound, simulate, simulate_cmp_bound, simulate_imb_bound,
-    simulate_ml_bound, SimFormat, SimKernelConfig,
-    SimMatrixProfile, SimResult,
+    simulate_ml_bound, SimFormat, SimKernelConfig, SimMatrixProfile, SimResult,
 };
 pub use platform::Platform;
 pub use roofline::{spmv_intensity, spmv_intensity_values_only, Roofline, RooflinePoint};

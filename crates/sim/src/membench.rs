@@ -39,7 +39,9 @@ pub fn stream_triad_gbs(n: usize, reps: usize) -> f64 {
 /// bandwidth for main memory and an L2-resident working set, detected
 /// parallelism, and conservative defaults for the cost parameters.
 pub fn host_platform() -> Platform {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // 64 MiB working set for main memory; 128 KiB for cache-resident.
     let bw_main = stream_triad_gbs(8 * 1024 * 1024, 3);
     let bw_llc = stream_triad_gbs(16 * 1024, 20).max(bw_main);
@@ -52,7 +54,11 @@ pub fn host_platform() -> Platform {
         l2_per_core_bytes: 512 * 1024,
         llc_shared_bytes: 8 * 1024 * 1024,
         cache_line: 64,
-        simd_f64_lanes: if sparseopt_core::util::simd_available() { 4 } else { 1 },
+        simd_f64_lanes: if sparseopt_core::util::simd_available() {
+            4
+        } else {
+            1
+        },
         bw_main_gbs: bw_main,
         bw_llc_gbs: bw_llc,
         mem_latency_ns: 100.0,

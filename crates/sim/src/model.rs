@@ -129,8 +129,7 @@ impl SimMatrixProfile {
         let nthreads = platform.cores;
         let partition = Partition::by_nnz(csr, nthreads);
         let nnz_per_thread = partition.nnz_per_part(csr);
-        let rows_per_thread: Vec<usize> =
-            partition.ranges().iter().map(|r| r.len()).collect();
+        let rows_per_thread: Vec<usize> = partition.ranges().iter().map(|r| r.len()).collect();
 
         let cache_bytes = ((platform.cache_per_thread_bytes(nthreads) as f64 / locality_scale)
             as usize)
@@ -150,8 +149,7 @@ impl SimMatrixProfile {
 
         let rows_part = Partition::by_rows(csr.nrows(), nthreads);
         let rows_partition_nnz = rows_part.nnz_per_part(csr);
-        let rows_partition_rows: Vec<usize> =
-            rows_part.ranges().iter().map(|r| r.len()).collect();
+        let rows_partition_rows: Vec<usize> = rows_part.ranges().iter().map(|r| r.len()).collect();
         let mut rows_partition_misses = Vec::with_capacity(nthreads);
         let mut rows_partition_irregular = Vec::with_capacity(nthreads);
         for t in 0..nthreads {
@@ -239,7 +237,7 @@ pub fn simulate(
 ) -> SimResult {
     let nthreads = profile.nthreads;
     let nnz_total = profile.nnz as f64;
-    let work = distribute(profile, platform, config);
+    let work = distribute(profile, config);
 
     // --- Per-element compute cost -----------------------------------------
     let inner = config.inner;
@@ -298,26 +296,39 @@ pub fn simulate(
     let line = platform.cache_line as f64;
     let miss_ns = platform.mem_latency_ns;
     let unhidden = (1.0 - platform.latency_overlap)
-        * if config.prefetch { 1.0 - platform.prefetch_effectiveness } else { 1.0 };
+        * if config.prefetch {
+            1.0 - platform.prefetch_effectiveness
+        } else {
+            1.0
+        };
 
     let mut thread_secs = Vec::with_capacity(nthreads);
     let mut traffic = 0.0f64;
     for w in &work {
         // Compute: elements + per-row loop overhead + schedule machinery.
-        let compute_cycles = w.nnz * cpe
-            + w.rows * (platform.row_overhead_cycles + row_extra)
-            + w.sched_cycles;
+        let compute_cycles =
+            w.nnz * cpe + w.rows * (platform.row_overhead_cycles + row_extra) + w.sched_cycles;
         let compute = compute_cycles / freq;
 
         // Bandwidth: matrix stream (values + indices + rowptr) + y + x misses.
         let bytes = w.nnz * (8.0 + index_bpn) + w.rows * 16.0 + w.misses * line;
-        let bw_share = (bw_total * (w.nnz / nnz_total.max(1.0))).max(1.0).min(bw_core);
-        let mem = if cache_resident { bytes / bw_core } else { bytes / bw_share };
+        let bw_share = (bw_total * (w.nnz / nnz_total.max(1.0)))
+            .max(1.0)
+            .min(bw_core);
+        let mem = if cache_resident {
+            bytes / bw_core
+        } else {
+            bytes / bw_share
+        };
 
         // Latency stalls: irregular misses that neither HW stream prefetch
         // nor (optionally) SW prefetch hides. Cache-resident sets stall on
         // LLC latency, an order of magnitude cheaper — fold to 10%.
-        let eff_miss_ns = if cache_resident { miss_ns * 0.1 } else { miss_ns };
+        let eff_miss_ns = if cache_resident {
+            miss_ns * 0.1
+        } else {
+            miss_ns
+        };
         let stall = w.irregular * eff_miss_ns * unhidden / 1e9;
 
         thread_secs.push(compute.max(mem) + stall);
@@ -335,11 +346,7 @@ pub fn simulate(
 
 /// Redistributes the baseline per-thread workload according to the schedule
 /// and format of `config`.
-fn distribute(
-    profile: &SimMatrixProfile,
-    platform: &Platform,
-    config: &SimKernelConfig,
-) -> Vec<ThreadWork> {
+fn distribute(profile: &SimMatrixProfile, config: &SimKernelConfig) -> Vec<ThreadWork> {
     let t = profile.nthreads;
     let nnz = profile.nnz as f64;
     let rows = profile.nrows as f64;
@@ -442,9 +449,12 @@ fn distribute(
                     ..config.clone()
                 }
             } else {
-                SimKernelConfig { schedule: Schedule::StaticNnz, ..config.clone() }
+                SimKernelConfig {
+                    schedule: Schedule::StaticNnz,
+                    ..config.clone()
+                }
             };
-            return distribute(profile, platform, &inner);
+            distribute(profile, &inner)
         }
     }
 }
@@ -509,7 +519,11 @@ pub fn simulate_imb_bound(profile: &SimMatrixProfile, platform: &Platform) -> f6
 }
 
 /// Resolves `Auto` the way the core library would, for reporting.
-pub fn resolved_schedule_label(csr: &CsrMatrix, schedule: &Schedule, nthreads: usize) -> &'static str {
+pub fn resolved_schedule_label(
+    csr: &CsrMatrix,
+    schedule: &Schedule,
+    nthreads: usize,
+) -> &'static str {
     match schedule.resolve(csr, nthreads) {
         ResolvedSchedule::Static(_) => "static",
         ResolvedSchedule::Dynamic { .. } => "dynamic",
@@ -534,8 +548,16 @@ mod tests {
         let base = simulate(&prof, &knc, &SimKernelConfig::baseline());
         let mb = analytic_mb_bound(&prof, &knc);
         // Baseline must sit below but within reach of the bandwidth roof.
-        assert!(base.gflops <= mb * 1.05, "baseline {} vs MB roof {}", base.gflops, mb);
-        assert!(base.gflops > 0.1 * mb, "regular matrix should approach the roof");
+        assert!(
+            base.gflops <= mb * 1.05,
+            "baseline {} vs MB roof {}",
+            base.gflops,
+            mb
+        );
+        assert!(
+            base.gflops > 0.1 * mb,
+            "regular matrix should approach the roof"
+        );
     }
 
     #[test]
@@ -547,7 +569,10 @@ mod tests {
         let pf = simulate(
             &prof,
             &knc,
-            &SimKernelConfig { prefetch: true, ..SimKernelConfig::baseline() },
+            &SimKernelConfig {
+                prefetch: true,
+                ..SimKernelConfig::baseline()
+            },
         );
         assert!(
             pf.gflops > 1.2 * base.gflops,
@@ -566,7 +591,10 @@ mod tests {
         let pf = simulate(
             &prof,
             &knc,
-            &SimKernelConfig { prefetch: true, ..SimKernelConfig::baseline() },
+            &SimKernelConfig {
+                prefetch: true,
+                ..SimKernelConfig::baseline()
+            },
         );
         // Prefetch instructions cost a little and hide nothing here.
         assert!(pf.gflops <= base.gflops * 1.02);
@@ -603,7 +631,10 @@ mod tests {
         let simd = simulate(
             &prof,
             &knl,
-            &SimKernelConfig { inner: InnerLoop::Simd, ..SimKernelConfig::baseline() },
+            &SimKernelConfig {
+                inner: InnerLoop::Simd,
+                ..SimKernelConfig::baseline()
+            },
         );
         assert!(simd.gflops > 1.5 * base.gflops);
     }
@@ -616,12 +647,21 @@ mod tests {
         let csr = CsrMatrix::from_coo(&g::banded(150_000, 12));
         let knc = Platform::knc();
         let prof = profile(&csr, &knc);
-        assert!(prof.delta_index_bytes_per_nnz < 2.0, "band compresses to u8 deltas");
-        assert!(prof.working_set_bytes > knc.total_cache_bytes(), "must be memory-resident");
+        assert!(
+            prof.delta_index_bytes_per_nnz < 2.0,
+            "band compresses to u8 deltas"
+        );
+        assert!(
+            prof.working_set_bytes > knc.total_cache_bytes(),
+            "must be memory-resident"
+        );
         let base = simulate(
             &prof,
             &knc,
-            &SimKernelConfig { inner: InnerLoop::Simd, ..SimKernelConfig::baseline() },
+            &SimKernelConfig {
+                inner: InnerLoop::Simd,
+                ..SimKernelConfig::baseline()
+            },
         );
         let comp = simulate(
             &prof,

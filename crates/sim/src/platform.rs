@@ -234,10 +234,22 @@ mod tests {
     fn platform_ordering_matches_paper_figures() {
         // The relationships the paper's analysis leans on.
         let (knc, knl, bdw) = (Platform::knc(), Platform::knl(), Platform::broadwell());
-        assert!(knl.bw_main_gbs > 3.0 * knc.bw_main_gbs, "KNL HBM dwarfs KNC GDDR");
-        assert!(bdw.latency_overlap > knc.latency_overlap, "OoO hides latency KNC cannot");
-        assert!(knc.row_overhead_cycles > bdw.row_overhead_cycles, "in-order loop overhead");
-        assert!(bdw.total_cache_bytes() > 55 * 1024 * 1024, "Broadwell's big L3");
+        assert!(
+            knl.bw_main_gbs > 3.0 * knc.bw_main_gbs,
+            "KNL HBM dwarfs KNC GDDR"
+        );
+        assert!(
+            bdw.latency_overlap > knc.latency_overlap,
+            "OoO hides latency KNC cannot"
+        );
+        assert!(
+            knc.row_overhead_cycles > bdw.row_overhead_cycles,
+            "in-order loop overhead"
+        );
+        assert!(
+            bdw.total_cache_bytes() > 55 * 1024 * 1024,
+            "Broadwell's big L3"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl Roofline {
 
     /// Roofline with the cache-resident bandwidth instead of main memory.
     pub fn for_platform_llc(p: &Platform) -> Self {
-        Self { bandwidth_gbs: p.bw_llc_gbs, ..Self::for_platform(p) }
+        Self {
+            bandwidth_gbs: p.bw_llc_gbs,
+            ..Self::for_platform(p)
+        }
     }
 
     /// The ridge point: the intensity (flop/byte) where the bandwidth slant
@@ -123,7 +126,10 @@ mod tests {
         // platform's ridge point, i.e. memory bound at the roofline level.
         let csr = toy(5000, 8);
         let i = spmv_intensity(&csr);
-        assert!(i < 0.2, "CSR SpMV intensity must be < 1 flop per 5 bytes, got {i}");
+        assert!(
+            i < 0.2,
+            "CSR SpMV intensity must be < 1 flop per 5 bytes, got {i}"
+        );
         for p in Platform::paper_platforms() {
             let roof = Roofline::for_platform(&p);
             assert!(
@@ -144,7 +150,10 @@ mod tests {
 
     #[test]
     fn roof_is_monotone_then_flat() {
-        let roof = Roofline { peak_gflops: 100.0, bandwidth_gbs: 50.0 };
+        let roof = Roofline {
+            peak_gflops: 100.0,
+            bandwidth_gbs: 50.0,
+        };
         assert_eq!(roof.ridge_intensity(), 2.0);
         assert_eq!(roof.attainable(1.0).attainable_gflops, 50.0);
         assert!(roof.attainable(1.0).bandwidth_bound);
@@ -154,7 +163,10 @@ mod tests {
 
     #[test]
     fn sampling_covers_range_monotonically() {
-        let roof = Roofline { peak_gflops: 10.0, bandwidth_gbs: 10.0 };
+        let roof = Roofline {
+            peak_gflops: 10.0,
+            bandwidth_gbs: 10.0,
+        };
         let pts = roof.sample(0.01, 100.0, 20);
         assert_eq!(pts.len(), 20);
         assert!((pts[0].intensity - 0.01).abs() < 1e-9);

@@ -92,8 +92,8 @@ pub fn bicgstab(
 mod tests {
     use super::*;
     use crate::precond::{IdentityPrecond, JacobiPrecond};
-    use sparseopt_core::prelude::*;
     use sparseopt_core::coo::CooMatrix;
+    use sparseopt_core::prelude::*;
     use std::sync::Arc;
 
     /// Nonsymmetric but diagonally dominant system.
@@ -122,13 +122,20 @@ mod tests {
             &b,
             &mut x,
             &IdentityPrecond,
-            &SolverOptions { tol: 1e-10, max_iters: 500 },
+            &SolverOptions {
+                tol: 1e-10,
+                max_iters: 500,
+            },
         );
         assert!(out.converged, "{out:?}");
         let mut ax = vec![0.0; 400];
         kernel.spmv(&x, &mut ax);
-        let res: f64 =
-            b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+        let res: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt();
         assert!(res < 1e-7, "true residual {res}");
     }
 
@@ -143,7 +150,10 @@ mod tests {
             &b,
             &mut x,
             &JacobiPrecond::new(&a),
-            &SolverOptions { tol: 1e-10, max_iters: 500 },
+            &SolverOptions {
+                tol: 1e-10,
+                max_iters: 500,
+            },
         );
         assert!(out.converged);
     }
@@ -159,7 +169,10 @@ mod tests {
             &b,
             &mut x,
             &IdentityPrecond,
-            &SolverOptions { tol: 1e-12, max_iters: 200 },
+            &SolverOptions {
+                tol: 1e-12,
+                max_iters: 200,
+            },
         );
         assert!(out.converged);
         assert!(out.spmv_calls >= 2 * out.iterations.saturating_sub(1));

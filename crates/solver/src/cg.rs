@@ -87,7 +87,10 @@ mod tests {
             &b,
             &mut x,
             &IdentityPrecond,
-            &SolverOptions { tol: 1e-8, max_iters: 1000 },
+            &SolverOptions {
+                tol: 1e-8,
+                max_iters: 1000,
+            },
         );
         assert!(out.converged, "CG must converge on SPD Poisson: {out:?}");
 
@@ -95,7 +98,12 @@ mod tests {
         // floating-point recomputation).
         let mut ax = vec![0.0; n];
         kernel.spmv(&x, &mut ax);
-        let res: f64 = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+        let res: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt();
         assert!(res / (n as f64).sqrt() < 1e-7, "true residual {res}");
     }
 
@@ -105,7 +113,10 @@ mod tests {
         let kernel = SerialCsr::new(a.clone());
         let n = a.nrows();
         let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
-        let opts = SolverOptions { tol: 1e-8, max_iters: 2000 };
+        let opts = SolverOptions {
+            tol: 1e-8,
+            max_iters: 2000,
+        };
 
         let mut x0 = vec![0.0; n];
         let plain = cg(&kernel, &b, &mut x0, &IdentityPrecond, &opts);
@@ -129,7 +140,10 @@ mod tests {
             &b,
             &mut x,
             &IdentityPrecond,
-            &SolverOptions { tol: 1e-9, max_iters: 1000 },
+            &SolverOptions {
+                tol: 1e-9,
+                max_iters: 1000,
+            },
         );
         assert!(out.converged);
         assert!(out.spmv_calls >= out.iterations);
@@ -147,7 +161,10 @@ mod tests {
             &b,
             &mut x,
             &IdentityPrecond,
-            &SolverOptions { tol: 1e-14, max_iters: 3 },
+            &SolverOptions {
+                tol: 1e-14,
+                max_iters: 3,
+            },
         );
         assert!(!out.converged);
         assert_eq!(out.iterations, 3);

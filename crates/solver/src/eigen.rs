@@ -26,12 +26,7 @@ pub struct EigenOutcome {
 /// # Panics
 /// Panics if the operator is not square, `v` has the wrong length, or the
 /// start vector is numerically zero.
-pub fn power_method(
-    a: &dyn SpmvKernel,
-    v: &mut [f64],
-    tol: f64,
-    max_iters: usize,
-) -> EigenOutcome {
+pub fn power_method(a: &dyn SpmvKernel, v: &mut [f64], tol: f64, max_iters: usize) -> EigenOutcome {
     let (nrows, ncols) = a.shape();
     assert_eq!(nrows, ncols, "power method needs a square operator");
     assert_eq!(v.len(), nrows, "start vector length mismatch");
@@ -59,14 +54,24 @@ pub fn power_method(
         let nav = norm2(&av);
         if nav == 0.0 {
             // v is in the null space: eigenvalue 0, exactly converged.
-            return EigenOutcome { eigenvalue: 0.0, iterations: iter, residual: 0.0, converged: true };
+            return EigenOutcome {
+                eigenvalue: 0.0,
+                iterations: iter,
+                residual: 0.0,
+                converged: true,
+            };
         }
         for i in 0..n {
             v[i] = av[i] / nav;
         }
 
         if res <= tol * lambda.abs().max(f64::MIN_POSITIVE) {
-            return EigenOutcome { eigenvalue: lambda, iterations: iter, residual: res, converged: true };
+            return EigenOutcome {
+                eigenvalue: lambda,
+                iterations: iter,
+                residual: res,
+                converged: true,
+            };
         }
     }
     // Final residual at the returned iterate.
@@ -168,7 +173,11 @@ mod tests {
         let mut v = vec![1.0; 4];
         let out = power_method(&a, &mut v, 1e-10, 2000);
         assert!(out.converged, "{out:?}");
-        assert!((out.eigenvalue - 5.0).abs() < 1e-6, "λ = {}", out.eigenvalue);
+        assert!(
+            (out.eigenvalue - 5.0).abs() < 1e-6,
+            "λ = {}",
+            out.eigenvalue
+        );
         // Eigenvector concentrates on index 1.
         assert!(v[1].abs() > 0.999);
     }

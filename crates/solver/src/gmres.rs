@@ -114,7 +114,11 @@ pub fn gmres(
                 for j in i + 1..k_used {
                     s -= h[i][j] * y[j];
                 }
-                y[i] = if h[i][i].abs() > 1e-300 { s / h[i][i] } else { 0.0 };
+                y[i] = if h[i][i].abs() > 1e-300 {
+                    s / h[i][i]
+                } else {
+                    0.0
+                };
             }
             for (j, &yj) in y.iter().enumerate() {
                 for i in 0..n {
@@ -185,8 +189,8 @@ fn apply_givens_column(
 mod tests {
     use super::*;
     use crate::precond::{IdentityPrecond, JacobiPrecond};
-    use sparseopt_core::prelude::*;
     use sparseopt_core::coo::CooMatrix;
+    use sparseopt_core::prelude::*;
     use sparseopt_matrix::generators as g;
     use std::sync::Arc;
 
@@ -210,7 +214,11 @@ mod tests {
     fn residual(a: &dyn SpmvKernel, b: &[f64], x: &[f64]) -> f64 {
         let mut ax = vec![0.0; b.len()];
         a.spmv(x, &mut ax);
-        b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt()
+        b.iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -225,7 +233,10 @@ mod tests {
             &mut x,
             &IdentityPrecond,
             30,
-            &SolverOptions { tol: 1e-10, max_iters: 600 },
+            &SolverOptions {
+                tol: 1e-10,
+                max_iters: 600,
+            },
         );
         assert!(out.converged, "{out:?}");
         assert!(residual(&kernel, &b, &x) < 1e-6);
@@ -243,7 +254,10 @@ mod tests {
             &mut x,
             &IdentityPrecond,
             5,
-            &SolverOptions { tol: 1e-9, max_iters: 2000 },
+            &SolverOptions {
+                tol: 1e-9,
+                max_iters: 2000,
+            },
         );
         assert!(out.converged, "{out:?}");
         assert!(residual(&kernel, &b, &x) < 1e-5);
@@ -263,7 +277,10 @@ mod tests {
             &mut x_gmres,
             &IdentityPrecond,
             50,
-            &SolverOptions { tol: 1e-12, max_iters: 2000 },
+            &SolverOptions {
+                tol: 1e-12,
+                max_iters: 2000,
+            },
         );
         assert!(out.converged);
 
@@ -273,7 +290,10 @@ mod tests {
             &b,
             &mut x_cg,
             &IdentityPrecond,
-            &SolverOptions { tol: 1e-12, max_iters: 2000 },
+            &SolverOptions {
+                tol: 1e-12,
+                max_iters: 2000,
+            },
         );
         assert!(out2.converged);
         for (a1, a2) in x_gmres.iter().zip(&x_cg) {
@@ -293,7 +313,10 @@ mod tests {
             &mut x,
             &JacobiPrecond::new(&a),
             20,
-            &SolverOptions { tol: 1e-10, max_iters: 1000 },
+            &SolverOptions {
+                tol: 1e-10,
+                max_iters: 1000,
+            },
         );
         assert!(out.converged);
         assert!(residual(&kernel, &b, &x) < 1e-5);

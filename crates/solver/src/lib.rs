@@ -30,7 +30,10 @@ pub struct SolverOptions {
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        Self { tol: 1e-10, max_iters: 1000 }
+        Self {
+            tol: 1e-10,
+            max_iters: 1000,
+        }
     }
 }
 
@@ -51,14 +54,32 @@ pub struct SolveOutcome {
 
 impl SolveOutcome {
     pub(crate) fn converged(iterations: usize, rel: f64, spmv_calls: usize) -> Self {
-        Self { converged: true, iterations, relative_residual: rel, spmv_calls, breakdown: false }
+        Self {
+            converged: true,
+            iterations,
+            relative_residual: rel,
+            spmv_calls,
+            breakdown: false,
+        }
     }
 
     pub(crate) fn not_converged(iterations: usize, rel: f64, spmv_calls: usize) -> Self {
-        Self { converged: false, iterations, relative_residual: rel, spmv_calls, breakdown: false }
+        Self {
+            converged: false,
+            iterations,
+            relative_residual: rel,
+            spmv_calls,
+            breakdown: false,
+        }
     }
 
     pub(crate) fn broke_down(iterations: usize, rel: f64, spmv_calls: usize) -> Self {
-        Self { converged: false, iterations, relative_residual: rel, spmv_calls, breakdown: true }
+        Self {
+            converged: false,
+            iterations,
+            relative_residual: rel,
+            spmv_calls,
+            breakdown: true,
+        }
     }
 }

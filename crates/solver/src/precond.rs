@@ -45,7 +45,9 @@ impl JacobiPrecond {
             diag.iter().all(|&d| d != 0.0),
             "Jacobi preconditioner requires a zero-free diagonal"
         );
-        Self { inv_diag: diag.iter().map(|&d| 1.0 / d).collect() }
+        Self {
+            inv_diag: diag.iter().map(|&d| 1.0 / d).collect(),
+        }
     }
 }
 

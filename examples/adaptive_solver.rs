@@ -7,14 +7,17 @@
 //!
 //! Run with: `cargo run --release --example adaptive_solver`
 
+use sparseopt::classifier::LabeledMatrix;
 use sparseopt::ml::TreeParams;
 use sparseopt::prelude::*;
-use sparseopt::classifier::LabeledMatrix;
 use std::sync::Arc;
 
 fn main() {
     let platform = Platform::knl();
-    println!("training feature-guided classifier on the {} model ...", platform.name);
+    println!(
+        "training feature-guided classifier on the {} model ...",
+        platform.name
+    );
 
     // Offline phase: label the training sweep with the profile-guided
     // classifier, then fit the tree (paper Section III-D).
@@ -34,7 +37,8 @@ fn main() {
             }
         })
         .collect();
-    let clf = FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+    let clf =
+        FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
     println!(
         "trained on {} matrices; tree has {} nodes, depth {}",
         samples.len(),
@@ -74,7 +78,10 @@ fn main() {
         &b,
         &mut x,
         &JacobiPrecond::new(&a),
-        &SolverOptions { tol: 1e-10, max_iters: 500 },
+        &SolverOptions {
+            tol: 1e-10,
+            max_iters: 500,
+        },
     );
     println!(
         "BiCGSTAB: converged={} in {} iterations (residual {:.2e})",
@@ -95,7 +102,11 @@ fn main() {
     }
     let a2 = Arc::new(CsrMatrix::from_coo(&lap));
     let opt2 = optimizer.optimize_feature_guided(&a2, &clf);
-    println!("\ngraph system: classes {} -> {}", opt2.classes, opt2.kernel.name());
+    println!(
+        "\ngraph system: classes {} -> {}",
+        opt2.classes,
+        opt2.kernel.name()
+    );
     let b2 = vec![0.5f64; a2.nrows()];
     let mut x2 = vec![0.0f64; a2.nrows()];
     let out2 = gmres(
@@ -104,7 +115,10 @@ fn main() {
         &mut x2,
         &IdentityPrecond,
         30,
-        &SolverOptions { tol: 1e-9, max_iters: 1000 },
+        &SolverOptions {
+            tol: 1e-9,
+            max_iters: 1000,
+        },
     );
     println!(
         "GMRES(30): converged={} in {} iterations (residual {:.2e})",
@@ -112,5 +126,8 @@ fn main() {
     );
     assert!(out2.converged);
 
-    println!("\nclassifier rules (decision tree dump):\n{}", clf.dump_rules());
+    println!(
+        "\nclassifier rules (decision tree dump):\n{}",
+        clf.dump_rules()
+    );
 }

@@ -12,7 +12,13 @@ fn main() {
     let names: Vec<&str> = if args.len() > 1 {
         args[1..].iter().map(String::as_str).collect()
     } else {
-        vec!["poisson3Db", "web-Google", "rajat30", "consph", "small-dense"]
+        vec![
+            "poisson3Db",
+            "web-Google",
+            "rajat30",
+            "consph",
+            "small-dense",
+        ]
     };
 
     let classifier = ProfileGuidedClassifier::new();

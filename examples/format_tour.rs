@@ -28,9 +28,9 @@ fn main() {
     let banded = Arc::new(CsrMatrix::from_coo(&sparseopt::matrix::generators::banded(
         60_000, 4,
     )));
-    let skewed = Arc::new(CsrMatrix::from_coo(&sparseopt::matrix::generators::few_dense_rows(
-        30_000, 3, 4, 7,
-    )));
+    let skewed = Arc::new(CsrMatrix::from_coo(
+        &sparseopt::matrix::generators::few_dense_rows(30_000, 3, 4, 7),
+    ));
 
     println!("== Delta compression (the MB optimization) on a banded matrix ==");
     println!(
@@ -90,19 +90,41 @@ fn main() {
     let mut y = vec![0.0f64; banded.nrows()];
     for (label, cfg) in [
         ("scalar", CsrKernelConfig::baseline()),
-        ("prefetch", CsrKernelConfig { prefetch: true, ..CsrKernelConfig::baseline() }),
+        (
+            "prefetch",
+            CsrKernelConfig {
+                prefetch: true,
+                ..CsrKernelConfig::baseline()
+            },
+        ),
         (
             "unrolled",
-            CsrKernelConfig { inner: InnerLoop::Unrolled4, ..CsrKernelConfig::baseline() },
+            CsrKernelConfig {
+                inner: InnerLoop::Unrolled4,
+                ..CsrKernelConfig::baseline()
+            },
         ),
-        ("simd", CsrKernelConfig { inner: InnerLoop::Simd, ..CsrKernelConfig::baseline() }),
+        (
+            "simd",
+            CsrKernelConfig {
+                inner: InnerLoop::Simd,
+                ..CsrKernelConfig::baseline()
+            },
+        ),
         (
             "auto-sched",
-            CsrKernelConfig { schedule: Schedule::Auto, ..CsrKernelConfig::baseline() },
+            CsrKernelConfig {
+                schedule: Schedule::Auto,
+                ..CsrKernelConfig::baseline()
+            },
         ),
     ] {
         let k = ParallelCsr::new(banded.clone(), cfg, ctx.clone());
         let t = time_kernel(&k, &x, &mut y, reps);
-        println!("{label:<12} {:>8.3} Gflop/s   ({})", gflops(k.flops(), t), k.name());
+        println!(
+            "{label:<12} {:>8.3} Gflop/s   ({})",
+            gflops(k.flops(), t),
+            k.name()
+        );
     }
 }

@@ -12,7 +12,12 @@ fn main() {
     // the classic PDE workload the paper's introduction motivates.
     let coo = sparseopt::matrix::generators::poisson3d(24, 24, 24);
     let csr = Arc::new(CsrMatrix::from_coo(&coo));
-    println!("matrix: {} x {}, {} nonzeros", csr.nrows(), csr.ncols(), csr.nnz());
+    println!(
+        "matrix: {} x {}, {} nonzeros",
+        csr.nrows(),
+        csr.ncols(),
+        csr.nnz()
+    );
 
     // Baseline: the paper's parallel CSR kernel with a static, nnz-balanced
     // one-dimensional row partitioning.

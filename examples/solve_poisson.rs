@@ -10,7 +10,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(24);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(24);
     let coo = sparseopt::matrix::generators::poisson3d(n, n, n);
     let a = Arc::new(CsrMatrix::from_coo(&coo));
     let dim = a.nrows();
@@ -21,7 +24,10 @@ fn main() {
     b[dim / 2] = 1.0;
 
     let ctx = ExecCtx::host();
-    let opts = SolverOptions { tol: 1e-8, max_iters: 4000 };
+    let opts = SolverOptions {
+        tol: 1e-8,
+        max_iters: 4000,
+    };
 
     // 1. CG with the baseline kernel.
     let baseline = ParallelCsr::baseline(a.clone(), ctx.clone());
@@ -53,7 +59,13 @@ fn main() {
 
     let mut x1 = vec![0.0f64; dim];
     let t0 = Instant::now();
-    let out1 = cg(optimized.kernel.as_ref(), &b, &mut x1, &IdentityPrecond, &opts);
+    let out1 = cg(
+        optimized.kernel.as_ref(),
+        &b,
+        &mut x1,
+        &IdentityPrecond,
+        &opts,
+    );
     let opt_time = t0.elapsed();
     println!(
         "optimized CSR: {} iters, residual {:.2e}, {} SpMV calls, {:.1} ms",
@@ -73,17 +85,28 @@ fn main() {
         &JacobiPrecond::new(&a),
         &opts,
     );
-    println!("jacobi-CG    : {} iters, residual {:.2e}", out2.iterations, out2.relative_residual);
+    println!(
+        "jacobi-CG    : {} iters, residual {:.2e}",
+        out2.iterations, out2.relative_residual
+    );
 
     // All solutions agree.
-    let err01 = x0.iter().zip(&x1).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
-    let err02 = x0.iter().zip(&x2).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+    let err01 = x0
+        .iter()
+        .zip(&x1)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    let err02 = x0
+        .iter()
+        .zip(&x2)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
     println!("max solution deviation: baseline-vs-optimized {err01:.2e}, vs jacobi {err02:.2e}");
     assert!(err01 < 1e-5 && err02 < 1e-5, "solutions must agree");
 
     // Amortization: how many iterations repay the optimizer setup?
-    let per_iter_gain = (base_time.as_secs_f64() - opt_time.as_secs_f64())
-        / out0.iterations.max(1) as f64;
+    let per_iter_gain =
+        (base_time.as_secs_f64() - opt_time.as_secs_f64()) / out0.iterations.max(1) as f64;
     if per_iter_gain > 0.0 {
         println!(
             "setup amortizes after ~{:.0} solver iterations (paper Table V analysis)",

@@ -19,8 +19,14 @@ fn corpus() -> Vec<(String, Arc<CsrMatrix>)> {
         let n = 4000 + 1000 * k as usize;
         out.push((format!("band{k}"), arc(g::banded(n, 2 + (k % 3) as usize))));
         out.push((format!("rand{k}"), arc(g::random_uniform(n, 8, k))));
-        out.push((format!("skew{k}"), arc(g::few_dense_rows(n, 2, 2 + (k % 3) as usize, k))));
-        out.push((format!("stencil{k}"), arc(g::poisson2d(60 + 5 * k as usize, 60))));
+        out.push((
+            format!("skew{k}"),
+            arc(g::few_dense_rows(n, 2, 2 + (k % 3) as usize, k)),
+        ));
+        out.push((
+            format!("stencil{k}"),
+            arc(g::poisson2d(60 + 5 * k as usize, 60)),
+        ));
     }
     out
 }
@@ -31,7 +37,11 @@ fn bounds_are_internally_consistent_on_all_platforms() {
         let profiler = SimBoundsProfiler::new(platform.clone());
         for (name, csr) in corpus() {
             let b = profiler.measure(&csr);
-            assert!(b.p_csr > 0.0, "{}/{name}: P_CSR must be positive", platform.name);
+            assert!(
+                b.p_csr > 0.0,
+                "{}/{name}: P_CSR must be positive",
+                platform.name
+            );
             assert!(
                 b.p_imb >= b.p_csr * 0.99,
                 "{}/{name}: median-based bound below baseline",
@@ -60,11 +70,17 @@ fn profile_guided_classifies_structures_sensibly_on_knc() {
     // random matrix must be latency-bound.
     let skew = arc(g::few_dense_rows(20_000, 2, 4, 3));
     let c = classifier.classify(&profiler.measure(&skew));
-    assert!(c.contains(Bottleneck::Imb), "mega rows must flag IMB, got {c}");
+    assert!(
+        c.contains(Bottleneck::Imb),
+        "mega rows must flag IMB, got {c}"
+    );
 
     let rand = arc(g::random_uniform(20_000, 8, 5));
     let c = classifier.classify(&profiler.measure(&rand));
-    assert!(c.contains(Bottleneck::Ml), "random access must flag ML, got {c}");
+    assert!(
+        c.contains(Bottleneck::Ml),
+        "random access must flag ML, got {c}"
+    );
 }
 
 #[test]

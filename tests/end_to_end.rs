@@ -8,7 +8,9 @@ use std::sync::Arc;
 fn optimize_then_solve_spd_system() {
     // A Poisson system, adaptively optimized, solved with CG; the answer
     // must match the plain-kernel solve.
-    let a = Arc::new(CsrMatrix::from_coo(&sparseopt::matrix::generators::poisson3d(10, 10, 10)));
+    let a = Arc::new(CsrMatrix::from_coo(
+        &sparseopt::matrix::generators::poisson3d(10, 10, 10),
+    ));
     let n = a.nrows();
     let ctx = ExecCtx::new(2);
 
@@ -17,10 +19,19 @@ fn optimize_then_solve_spd_system() {
     let optimized = optimizer.optimize_profiled(&a, &profiler);
 
     let b = vec![1.0f64; n];
-    let opts = SolverOptions { tol: 1e-10, max_iters: 2000 };
+    let opts = SolverOptions {
+        tol: 1e-10,
+        max_iters: 2000,
+    };
 
     let mut x_opt = vec![0.0f64; n];
-    let out_opt = cg(optimized.kernel.as_ref(), &b, &mut x_opt, &IdentityPrecond, &opts);
+    let out_opt = cg(
+        optimized.kernel.as_ref(),
+        &b,
+        &mut x_opt,
+        &IdentityPrecond,
+        &opts,
+    );
     assert!(out_opt.converged, "{out_opt:?}");
 
     let serial = SerialCsr::new(a.clone());
@@ -62,8 +73,8 @@ fn suite_matrices_work_with_every_vendor_baseline() {
 #[test]
 fn feature_guided_end_to_end_on_unseen_matrix() {
     use sparseopt::classifier::LabeledMatrix;
-    use sparseopt::ml::TreeParams;
     use sparseopt::matrix::generators as g;
+    use sparseopt::ml::TreeParams;
 
     // Train on a tiny but diverse corpus labeled by the profile-guided
     // classifier on the KNL model.
@@ -109,8 +120,7 @@ fn feature_guided_end_to_end_on_unseen_matrix() {
 fn simulated_study_produces_complete_fig7_row() {
     let study = SimOptimizerStudy::new(Platform::broadwell());
     let m = sparseopt::matrix::by_name("web-Google").expect("suite matrix");
-    let eff_llc =
-        ((study.platform().total_cache_bytes() as f64 / m.scale) as usize).max(1);
+    let eff_llc = ((study.platform().total_cache_bytes() as f64 / m.scale) as usize).max(1);
     let features = MatrixFeatures::extract(&m.csr, eff_llc);
     let e = study.evaluate_scaled(&m.csr, &features, m.scale, m.locality_scale(), None);
 

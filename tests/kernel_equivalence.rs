@@ -8,6 +8,78 @@ use sparseopt::core::CsrKernelConfig;
 use sparseopt::prelude::*;
 use std::sync::Arc;
 
+/// Dense reference `y = A·x` accumulated straight from the raw triplets,
+/// independent of every sparse format under test (duplicates sum).
+fn dense_spmv(nrows: usize, entries: &[(usize, usize, f64)], x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; nrows];
+    for &(r, c, v) in entries {
+        y[r] += v * x[c];
+    }
+    y
+}
+
+/// Runs every format kernel in the library against the dense reference on
+/// one matrix given as raw triplets.
+fn check_all_formats_against_dense(n: usize, entries: &[(usize, usize, f64)]) {
+    let x: Vec<f64> = (0..n).map(|i| 0.5 + (i as f64 * 0.73).sin()).collect();
+    let want = dense_spmv(n, entries, &x);
+    let csr = build(n, entries);
+    let ctx = ExecCtx::new(2);
+
+    let run = |name: &str, y: &[f64]| assert_close(name, y, &want);
+
+    let mut y = vec![f64::NAN; n];
+    SerialCsr::new(csr.clone()).spmv(&x, &mut y);
+    run("csr-serial", &y);
+
+    let mut y = vec![f64::NAN; n];
+    ParallelCsr::baseline(csr.clone(), ctx.clone()).spmv(&x, &mut y);
+    run("csr-parallel", &y);
+
+    for width in [DeltaWidth::U8, DeltaWidth::U16] {
+        let delta = Arc::new(DeltaCsrMatrix::from_csr_with_width(&csr, width));
+        let mut y = vec![f64::NAN; n];
+        DeltaKernel::new(
+            delta,
+            InnerLoop::Scalar,
+            false,
+            Schedule::StaticRows,
+            ctx.clone(),
+        )
+        .spmv(&x, &mut y);
+        run(&format!("delta-{width:?}"), &y);
+    }
+
+    for (br, bc) in [(1, 1), (2, 2), (2, 3), (4, 4)] {
+        let bcsr = BcsrMatrix::from_csr(&csr, br, bc);
+        let mut y = vec![f64::NAN; n];
+        bcsr.spmv(&x, &mut y);
+        run(&format!("bcsr-{br}x{bc}"), &y);
+    }
+
+    let ell = EllMatrix::from_csr(&csr);
+    let mut y = vec![f64::NAN; n];
+    ell.spmv(&x, &mut y);
+    run("ell", &y);
+
+    for threshold in [1usize, 4, 1000] {
+        let dec = Arc::new(DecomposedCsrMatrix::from_csr(&csr, threshold));
+        let mut y = vec![f64::NAN; n];
+        DecomposedKernel::baseline(dec, ctx.clone()).spmv(&x, &mut y);
+        run(&format!("decomposed-t{threshold}"), &y);
+    }
+}
+
+/// Strategy: matrices whose bottom half of rows is structurally empty, so
+/// every format must cope with runs of empty rows (and possibly zero nnz —
+/// the entry count may draw 0).
+fn arb_matrix_with_empty_tail() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4usize..48).prop_flat_map(|n| {
+        let entry = (0..n / 2, 0..n, -100.0f64..100.0);
+        (Just(n), proptest::collection::vec(entry, 0..150))
+    })
+}
+
 /// Strategy: a random sparse matrix as triplets (duplicates allowed — they
 /// must be summed identically by every path).
 fn arb_matrix() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
@@ -96,6 +168,16 @@ proptest! {
     }
 
     #[test]
+    fn every_format_matches_dense_reference((n, entries) in arb_matrix()) {
+        check_all_formats_against_dense(n, &entries);
+    }
+
+    #[test]
+    fn every_format_handles_empty_rows((n, entries) in arb_matrix_with_empty_tail()) {
+        check_all_formats_against_dense(n, &entries);
+    }
+
+    #[test]
     fn every_optimizer_plan_matches_serial((n, entries) in arb_matrix()) {
         let csr = build(n, &entries);
         let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
@@ -110,4 +192,30 @@ proptest! {
             assert_close(&format!("plan {}", plan.label()), &y, &want);
         }
     }
+}
+
+/// Edge cases every format must survive, pinned as plain deterministic tests
+/// so they run even when the property sampler happens not to draw them.
+#[test]
+fn all_formats_on_fully_empty_matrix() {
+    check_all_formats_against_dense(7, &[]);
+}
+
+#[test]
+fn all_formats_on_single_row_matrix() {
+    // 1 × 1 with one entry, and 5 × 5 where only the first row is populated.
+    check_all_formats_against_dense(1, &[(0, 0, 3.5)]);
+    check_all_formats_against_dense(5, &[(0, 0, 1.0), (0, 2, -2.0), (0, 4, 0.25)]);
+}
+
+#[test]
+fn all_formats_on_single_entry_in_last_row() {
+    // Leading empty rows exercise the opposite corner from the empty tail.
+    check_all_formats_against_dense(9, &[(8, 3, -7.0)]);
+}
+
+#[test]
+fn all_formats_on_duplicate_entries() {
+    // Duplicates must be summed identically by every conversion path.
+    check_all_formats_against_dense(3, &[(1, 1, 2.0), (1, 1, 3.0), (1, 1, -1.0), (0, 2, 4.0)]);
 }

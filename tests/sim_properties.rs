@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 use sparseopt::prelude::*;
 use sparseopt::sim::{
-    analytic_mb_bound, analytic_peak_bound, simulate, CacheSim, SimKernelConfig,
-    SimMatrixProfile,
+    analytic_mb_bound, analytic_peak_bound, simulate, CacheSim, SimKernelConfig, SimMatrixProfile,
 };
 
 fn arb_trace() -> impl Strategy<Value = Vec<u64>> {

@@ -5,7 +5,9 @@ use sparseopt::prelude::*;
 use std::sync::Arc;
 
 fn spd_system(n: usize) -> (Arc<CsrMatrix>, Vec<f64>) {
-    let a = Arc::new(CsrMatrix::from_coo(&sparseopt::matrix::generators::poisson2d(n, n)));
+    let a = Arc::new(CsrMatrix::from_coo(
+        &sparseopt::matrix::generators::poisson2d(n, n),
+    ));
     let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 11) as f64) - 5.0).collect();
     (a, b)
 }
@@ -58,7 +60,10 @@ fn kernel_zoo(a: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SpmvKernel>
 fn cg_converges_identically_on_every_kernel() {
     let (a, b) = spd_system(24);
     let ctx = ExecCtx::new(2);
-    let opts = SolverOptions { tol: 1e-10, max_iters: 3000 };
+    let opts = SolverOptions {
+        tol: 1e-10,
+        max_iters: 3000,
+    };
 
     let mut reference: Option<Vec<f64>> = None;
     for kernel in kernel_zoo(&a, &ctx) {
@@ -80,7 +85,10 @@ fn cg_converges_identically_on_every_kernel() {
 fn bicgstab_and_gmres_agree_on_every_kernel() {
     let (a, b) = nonsym_system(600);
     let ctx = ExecCtx::new(3);
-    let opts = SolverOptions { tol: 1e-10, max_iters: 2000 };
+    let opts = SolverOptions {
+        tol: 1e-10,
+        max_iters: 2000,
+    };
 
     let mut reference: Option<Vec<f64>> = None;
     for kernel in kernel_zoo(&a, &ctx) {
@@ -93,7 +101,11 @@ fn bicgstab_and_gmres_agree_on_every_kernel() {
         assert!(og.converged, "gmres/{}: {og:?}", kernel.name());
 
         for (p, q) in xb.iter().zip(&xg) {
-            assert!((p - q).abs() < 1e-5, "{}: bicgstab {p} vs gmres {q}", kernel.name());
+            assert!(
+                (p - q).abs() < 1e-5,
+                "{}: bicgstab {p} vs gmres {q}",
+                kernel.name()
+            );
         }
         match &reference {
             None => reference = Some(xb),
@@ -118,7 +130,10 @@ fn solver_spmv_counts_feed_amortization() {
         &b,
         &mut x,
         &IdentityPrecond,
-        &SolverOptions { tol: 1e-8, max_iters: 1000 },
+        &SolverOptions {
+            tol: 1e-8,
+            max_iters: 1000,
+        },
     );
     assert!(out.converged);
     // One SpMV per iteration plus the initial residual.

@@ -1,0 +1,61 @@
+//! Minimal offline stand-in for the crates-io `crossbeam` crate.
+//!
+//! Only the surface this workspace uses is provided: [`utils::CachePadded`].
+//! See `vendor/README.md` for the vendoring policy.
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of two cache lines (128 bytes on
+    /// x86-64, matching upstream crossbeam's choice), preventing false
+    /// sharing between adjacent slots of a `Vec<CachePadded<T>>`.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn is_aligned_and_transparent() {
+            let p = CachePadded::new(7u64);
+            assert_eq!(std::mem::align_of_val(&p), 128);
+            assert_eq!(*p, 7);
+            assert_eq!(p.into_inner(), 7);
+        }
+    }
+}

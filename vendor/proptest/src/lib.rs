@@ -1,0 +1,169 @@
+//! Minimal offline stand-in for the crates-io `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], [`any`], [`Just`], `ProptestConfig::with_cases`, the
+//! `proptest!` macro (including the `#![proptest_config(..)]` header), and
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its deterministic case seed;
+//!   re-running the test replays the identical sequence.
+//! - **Deterministic by default.** Case `k` of test `t` derives its RNG seed
+//!   from `hash(module_path::t, k)`, so failures always reproduce — there is
+//!   no environment-dependent entropy. `PROPTEST_SEED_OFFSET` (an integer
+//!   env var, read at test start) shifts the whole sequence when exploring.
+//!
+//! See `vendor/README.md` for the vendoring policy.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current proptest case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current proptest case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects (skips) the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assume failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// The usual form adds `#[test]` to each function; the attribute is omitted
+/// here so the doctest can run the property directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while passed < config.cases {
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest {test_id}: too many rejected cases \
+                             ({rejected} rejects for {passed} passes)"
+                        );
+                    }
+                    let mut rng = $crate::test_runner::TestRng::for_case(test_id, case);
+                    let result: $crate::test_runner::TestCaseResult = (|| {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match result {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => rejected += 1,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {test_id} failed at case {case} \
+                             (deterministic; rerun reproduces it)\n{msg}"
+                        ),
+                    }
+                    case += 1;
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,117 @@
+//! Sequential `par_iter` stand-ins. The adapters mirror rayon's names so
+//! call sites read identically; execution order is the plain iterator order,
+//! which also makes suite generation deterministic.
+
+/// Conversion into a "parallel" iterator (sequential here).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter()` on collections, via their `&T: IntoIterator` impls.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Item = <&'a T as IntoIterator>::Item;
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Wrapper around a standard iterator exposing rayon-shaped adapters.
+pub struct ParIter<I>(pub(crate) I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<F, T>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> T,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(p))
+    }
+
+    pub fn filter_map<F, T>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<T>,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn flat_map<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Chunk-size hint; a no-op in the sequential stand-in.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_enumerate_collect_matches_std() {
+        let v = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = v
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| (i, x + 1))
+            .collect();
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+        let s: i32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 60);
+    }
+}

@@ -1,0 +1,307 @@
+//! Minimal offline stand-in for the crates-io `rayon` crate.
+//!
+//! Two surfaces are provided, matching what this workspace uses:
+//!
+//! - [`ThreadPool`] / [`ThreadPoolBuilder`] with [`ThreadPool::broadcast`],
+//!   backed by **real persistent OS threads** — per-worker identity and
+//!   per-worker wall time are observable, which `sparseopt_core::pool::ExecCtx`
+//!   depends on for the paper's `P_IMB` bound.
+//! - A `par_iter`-style [`prelude`] (`into_par_iter().map(..).collect()`),
+//!   implemented **sequentially**. Call sites using it are one-shot suite
+//!   generators where determinism matters more than construction speed; the
+//!   hot SpMV paths all go through `broadcast` instead.
+//!
+//! See `vendor/README.md` for the vendoring policy.
+
+pub mod iter;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+
+/// Error returned when a pool cannot be constructed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+    thread_name: Option<Box<dyn FnMut(usize) -> String>>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Sets the OS name given to each worker thread.
+    pub fn thread_name<F>(mut self, f: F) -> Self
+    where
+        F: FnMut(usize) -> String + 'static,
+    {
+        self.thread_name = Some(Box::new(f));
+        self
+    }
+
+    /// Spawns the workers and returns the pool.
+    pub fn build(mut self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let shared = Arc::new(Shared {
+            job: Mutex::new(None),
+            epoch: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            done: Condvar::new(),
+            generation: AtomicUsize::new(0),
+        });
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = match &mut self.thread_name {
+                Some(f) => f(i),
+                None => format!("rayon-worker-{i}"),
+            };
+            let shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(i, n, shared))
+                .map_err(|e| ThreadPoolBuildError { msg: e.to_string() })?;
+            workers.push(handle);
+        }
+        Ok(ThreadPool {
+            shared,
+            workers,
+            nthreads: n,
+        })
+    }
+}
+
+/// Identifies the worker executing one arm of a [`ThreadPool::broadcast`].
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastContext {
+    index: usize,
+    num_threads: usize,
+}
+
+impl BroadcastContext {
+    /// This worker's index in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total workers participating in the broadcast.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A broadcast job: type-erased closure, valid only for the duration of the
+/// `broadcast` call that installed it (enforced by the completion barrier).
+struct Job {
+    /// Pointer to the caller's closure. `broadcast` blocks until every worker
+    /// has finished running it, so the borrow never outlives the frame.
+    func: *const (dyn Fn(BroadcastContext) + Sync),
+    generation: usize,
+}
+
+unsafe impl Send for Job {}
+
+struct Shared {
+    job: Mutex<Option<Job>>,
+    epoch: Condvar,
+    pending: AtomicUsize,
+    done: Condvar,
+    generation: AtomicUsize,
+}
+
+fn worker_loop(index: usize, num_threads: usize, shared: Arc<Shared>) {
+    let mut last_seen = 0usize;
+    loop {
+        let job = {
+            let mut guard = shared.job.lock().unwrap();
+            loop {
+                match guard.as_ref() {
+                    // Generation 0 is "shutdown".
+                    Some(j) if j.generation == usize::MAX => return,
+                    Some(j) if j.generation != last_seen => {
+                        last_seen = j.generation;
+                        break Job {
+                            func: j.func,
+                            generation: j.generation,
+                        };
+                    }
+                    _ => guard = shared.epoch.wait(guard).unwrap(),
+                }
+            }
+        };
+        // SAFETY: `broadcast` keeps the closure alive until `pending` drains
+        // back to zero, which happens only after this call returns.
+        let f = unsafe { &*job.func };
+        f(BroadcastContext { index, num_threads });
+        if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = shared.job.lock().unwrap();
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads in the pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Executes `op` once on every worker thread, blocking until all are
+    /// done. Panics in `op` poison the pool's mutex and propagate here.
+    pub fn broadcast<OP>(&self, op: OP)
+    where
+        OP: Fn(BroadcastContext) + Sync,
+    {
+        let generation = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let erased: &(dyn Fn(BroadcastContext) + Sync) = &op;
+        // SAFETY of the lifetime erasure: the pointer is cleared below before
+        // this frame returns, and workers only dereference it between
+        // `pending` being armed and drained, both inside this call.
+        let func: *const (dyn Fn(BroadcastContext) + Sync) = unsafe { std::mem::transmute(erased) };
+        {
+            let mut guard = self.shared.job.lock().unwrap();
+            self.shared.pending.store(self.nthreads, Ordering::Release);
+            *guard = Some(Job { func, generation });
+            self.shared.epoch.notify_all();
+            while self.shared.pending.load(Ordering::Acquire) != 0 {
+                guard = self.shared.done.wait(guard).unwrap();
+            }
+            *guard = None;
+        }
+    }
+
+    /// Runs `op` on the calling thread (sequential stand-in for rayon's
+    /// work-stealing `install`).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = match self.shared.job.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = Some(Job {
+                func: &noop_job as *const (dyn Fn(BroadcastContext) + Sync),
+                generation: usize::MAX,
+            });
+            self.shared.epoch.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn noop_job(_: BroadcastContext) {}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("nthreads", &self.nthreads)
+            .finish()
+    }
+}
+
+/// Keep a `Barrier` re-export around for parity with common rayon-adjacent
+/// code; unused by the pool itself.
+#[doc(hidden)]
+pub type _Unused = Barrier;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_once_per_worker() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..100 {
+            pool.broadcast(|ctx| {
+                assert_eq!(ctx.num_threads(), 4);
+                seen[ctx.index()].fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for s in &seen {
+            assert_eq!(s.load(Ordering::SeqCst), 100);
+        }
+    }
+
+    #[test]
+    fn broadcast_borrows_stack_state() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let total = AtomicUsize::new(0);
+        pool.broadcast(|ctx| {
+            total.fetch_add(ctx.index() + 1, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn workers_get_requested_names() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .thread_name(|i| format!("custom-{i}"))
+            .build()
+            .unwrap();
+        let names: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        pool.broadcast(|_| {
+            names
+                .lock()
+                .unwrap()
+                .push(std::thread::current().name().unwrap_or("?").to_string());
+        });
+        let mut names = names.into_inner().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["custom-0".to_string(), "custom-1".to_string()]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        drop(pool); // must not hang
+    }
+}

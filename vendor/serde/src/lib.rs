@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for the crates-io `serde` crate.
+//!
+//! `Serialize`/`Deserialize` are blanket-implemented marker traits and the
+//! re-exported derives are no-ops, so `#[derive(Serialize, Deserialize)]`
+//! compiles unchanged while actual serialization remains unimplemented (no
+//! in-tree code serializes yet — the derives exist for API parity). See
+//! `vendor/README.md` for the vendoring policy.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace's `serde` stand-in blanket-implements its marker traits, so
+//! these derives have nothing to generate; they exist so `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` attributes parse exactly as with the
+//! real crate. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
