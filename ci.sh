@@ -13,8 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> cargo bench --no-run"
-cargo bench --no-run
+echo "==> cargo test --workspace --release -q"
+# Release tier: the kernel property suites must also hold under full
+# optimization (SIMD paths, FMA contraction, aggressive inlining).
+cargo test --workspace --release -q
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "==> cargo bench --workspace -- --test (smoke run: every benchmark once)"
+# Compile-and-run-once over the whole bench suite so new kernels cannot
+# silently rot: a panicking or mis-wired benchmark fails CI here.
+cargo bench --workspace -- --test
 
 echo "==> cargo build --examples"
 cargo build --examples

@@ -115,6 +115,30 @@ impl BcsrMatrix {
         self.bcolind.len()
     }
 
+    /// Number of block rows.
+    #[inline]
+    pub fn nbrows(&self) -> usize {
+        self.browptr.len() - 1
+    }
+
+    /// Block-row pointer (`nblock_rows + 1` entries).
+    #[inline]
+    pub fn browptr(&self) -> &[usize] {
+        &self.browptr
+    }
+
+    /// Block column index per stored block.
+    #[inline]
+    pub fn bcolind(&self) -> &[u32] {
+        &self.bcolind
+    }
+
+    /// Dense block payloads, `r · c` row-major values per block.
+    #[inline]
+    pub fn blocks(&self) -> &[f64] {
+        &self.blocks
+    }
+
     /// Stored slots per true nonzero (≥ 1.0; 1.0 = perfect blocking).
     pub fn fill_ratio(&self) -> f64 {
         if self.nnz == 0 {

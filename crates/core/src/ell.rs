@@ -11,7 +11,7 @@ use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 
 /// Sentinel column for padded slots.
-const PAD: u32 = u32::MAX;
+pub const PAD: u32 = u32::MAX;
 
 /// ELLPACK storage: column-major `nrows × width` slabs of values and column
 /// indices, padded rows marked with a sentinel.
@@ -71,6 +71,19 @@ impl EllMatrix {
     #[inline]
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Column indices of slot `s` for all rows (`nrows` entries; padded
+    /// slots hold [`PAD`]).
+    #[inline]
+    pub fn slot_cols(&self, s: usize) -> &[u32] {
+        &self.colind[s * self.nrows..(s + 1) * self.nrows]
+    }
+
+    /// Values of slot `s` for all rows (`nrows` entries; padded slots are 0).
+    #[inline]
+    pub fn slot_vals(&self, s: usize) -> &[f64] {
+        &self.values[s * self.nrows..(s + 1) * self.nrows]
     }
 
     /// Fraction of the slab that is padding (0 = perfectly regular matrix).

@@ -7,7 +7,6 @@
 use super::rowprim::{row_dot, InnerLoop};
 use super::{check_operands, SpmvKernel};
 use crate::decomposed::DecomposedCsrMatrix;
-use crate::partition::Partition;
 use crate::pool::ExecCtx;
 use crate::schedule::{ResolvedSchedule, Schedule};
 use crate::util::SendMutPtr;
@@ -33,23 +32,10 @@ impl DecomposedKernel {
         schedule: Schedule,
         ctx: Arc<ExecCtx>,
     ) -> Self {
-        let phase1 = match &schedule {
-            Schedule::StaticRows => {
-                ResolvedSchedule::Static(Partition::by_rows(matrix.nrows(), ctx.nthreads()))
-            }
-            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic {
-                chunk: (*chunk).max(1),
-            },
-            Schedule::Guided { min_chunk } => ResolvedSchedule::Guided {
-                min_chunk: (*min_chunk).max(1),
-            },
-            // StaticNnz / Auto: balance on the short-row pointer (long rows
-            // contribute zero weight, which is exactly right here).
-            _ => ResolvedSchedule::Static(Partition::by_rowptr(
-                matrix.short_rowptr(),
-                ctx.nthreads(),
-            )),
-        };
+        // StaticNnz / Auto balance on the short-row pointer (long rows
+        // contribute zero weight, which is exactly right here).
+        let phase1 =
+            schedule.resolve_with_rowptr(matrix.nrows(), matrix.short_rowptr(), ctx.nthreads());
         Self {
             matrix,
             ctx,

@@ -44,24 +44,8 @@ impl DeltaKernel {
     ) -> Self {
         // Schedules needing row-length information resolve against the
         // rowptr, which the delta format preserves verbatim.
-        let resolved = match &schedule {
-            Schedule::StaticRows => ResolvedSchedule::Static(crate::partition::Partition::by_rows(
-                matrix.nrows(),
-                ctx.nthreads(),
-            )),
-            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic {
-                chunk: (*chunk).max(1),
-            },
-            Schedule::Guided { min_chunk } => ResolvedSchedule::Guided {
-                min_chunk: (*min_chunk).max(1),
-            },
-            // StaticNnz and Auto both fall back to nnz-balanced static over
-            // the preserved rowptr.
-            _ => ResolvedSchedule::Static(crate::partition::Partition::by_rowptr(
-                matrix.rowptr(),
-                ctx.nthreads(),
-            )),
-        };
+        let resolved =
+            schedule.resolve_with_rowptr(matrix.nrows(), matrix.rowptr(), ctx.nthreads());
         Self {
             matrix,
             ctx,

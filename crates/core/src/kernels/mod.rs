@@ -11,13 +11,16 @@ mod decomposed;
 mod delta;
 mod microbench;
 mod rowprim;
+mod spmm;
 
 pub use csr::{CsrKernelConfig, ParallelCsr, SerialCsr};
 pub use decomposed::DecomposedKernel;
 pub use delta::DeltaKernel;
 pub use microbench::{regularize_colind, UnitStrideCsr};
 pub use rowprim::{row_dot, InnerLoop};
+pub use spmm::{BcsrSpmm, CsrSpmm, DecomposedSpmm, DeltaSpmm, EllSpmm, SPMM_COL_TILE};
 
+use crate::multivec::MultiVec;
 use std::time::Duration;
 
 /// A reusable `y = A·x` kernel.
@@ -53,6 +56,58 @@ pub trait SpmvKernel: Send + Sync {
     }
 }
 
+/// A reusable `Y = A·X` kernel over a dense block of `k` right-hand sides
+/// (SpMM). The matrix stream is read once per call and reused across all `k`
+/// columns — the reuse-factor argument that makes block-Krylov consumers
+/// cheaper per right-hand side than `k` separate [`SpmvKernel::spmv`] calls.
+///
+/// ```
+/// use sparseopt_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let mut coo = CooMatrix::new(3, 3);
+/// for i in 0..3 { coo.push(i, i, 2.0); }
+/// let csr = Arc::new(CsrMatrix::from_coo(&coo));
+/// let kernel = CsrSpmm::baseline(csr, ExecCtx::new(2));
+///
+/// let x = MultiVec::from_fn(3, 4, |row, rhs| (row + rhs) as f64);
+/// let mut y = MultiVec::zeros(3, 4);
+/// kernel.spmm(&x, &mut y);
+/// assert_eq!(y.row(1), &[2.0, 4.0, 6.0, 8.0]);
+/// ```
+pub trait SpmmKernel: Send + Sync {
+    /// Human-readable kernel identifier, e.g. `csr-spmm[static-nnz]`.
+    fn name(&self) -> String;
+
+    /// `(nrows, ncols)` of the operator.
+    fn shape(&self) -> (usize, usize);
+
+    /// Number of stored nonzeros.
+    fn nnz(&self) -> usize;
+
+    /// Computes `Y = A·X` for row-major `X ∈ R^{ncols×k}`, `Y ∈ R^{nrows×k}`.
+    ///
+    /// # Panics
+    /// Panics if `x.nrows() != ncols`, `y.nrows() != nrows`, or the two
+    /// multi-vectors disagree on `k`.
+    fn spmm(&self, x: &MultiVec, y: &mut MultiVec);
+
+    /// Per-thread wall times of the most recent `spmm` call, if tracked.
+    fn last_thread_times(&self) -> Vec<Duration> {
+        Vec::new()
+    }
+
+    /// Bytes of matrix data the kernel streams per multiplication (streamed
+    /// once regardless of `k`).
+    fn footprint_bytes(&self) -> usize;
+
+    /// Floating-point operations per multiplication with `k` right-hand
+    /// sides (`2 · NNZ · k`).
+    fn flops(&self, k: usize) -> f64 {
+        2.0 * self.nnz() as f64 * k as f64
+    }
+}
+
 /// Computes Gflop/s from a flop count and a duration in seconds.
 pub fn gflops(flops: f64, secs: f64) -> f64 {
     if secs <= 0.0 {
@@ -67,6 +122,20 @@ pub fn gflops(flops: f64, secs: f64) -> f64 {
 pub(crate) fn check_operands(nrows: usize, ncols: usize, x: &[f64], y: &[f64]) {
     assert_eq!(x.len(), ncols, "x length {} != ncols {}", x.len(), ncols);
     assert_eq!(y.len(), nrows, "y length {} != nrows {}", y.len(), nrows);
+}
+
+/// Validates SpMM operand shapes; shared by all [`SpmmKernel`] impls.
+#[inline]
+pub(crate) fn check_spmm_operands(nrows: usize, ncols: usize, x: &MultiVec, y: &MultiVec) {
+    assert_eq!(x.nrows(), ncols, "x rows {} != ncols {}", x.nrows(), ncols);
+    assert_eq!(y.nrows(), nrows, "y rows {} != nrows {}", y.nrows(), nrows);
+    assert_eq!(
+        x.width(),
+        y.width(),
+        "x width {} != y width {}",
+        x.width(),
+        y.width()
+    );
 }
 
 #[cfg(test)]

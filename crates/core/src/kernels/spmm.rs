@@ -1,0 +1,638 @@
+//! SpMM kernels: `Y = A·X` for a dense block of `k` right-hand sides.
+//!
+//! The multiple-RHS workload is the natural extension of the paper's
+//! amortization argument (Table V): block-Krylov methods call the sparse
+//! operator on `k` vectors at once, so every fetched nonzero is reused `k`
+//! times. Column blocking turns the per-nonzero arithmetic intensity from
+//! `2 flops / (12..16 bytes)` into `2k flops / (12..16 bytes)`, shifting
+//! MB-bound matrices toward the compute-bound regime the classifier models
+//! (see `sparseopt-sim`'s analytic SpMM model).
+//!
+//! All kernels share the same structure: the row loop is partitioned across
+//! the thread pool exactly like the SpMV kernels, and each row runs a
+//! register-blocked inner loop over a column tile of `X` ([`SPMM_COL_TILE`]
+//! accumulators held in registers), so `X`'s rows stream with unit stride.
+
+use super::{check_spmm_operands, SpmmKernel};
+use crate::bcsr::BcsrMatrix;
+use crate::csr::CsrMatrix;
+use crate::decomposed::DecomposedCsrMatrix;
+use crate::delta::DeltaCsrMatrix;
+use crate::ell::{EllMatrix, PAD};
+use crate::multivec::MultiVec;
+use crate::partition::Partition;
+use crate::pool::ExecCtx;
+use crate::schedule::{ResolvedSchedule, Schedule};
+use crate::util::SendMutPtr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Width of the register-blocked column tile: the number of accumulators a
+/// row holds live while streaming its nonzeros (8 doubles = one cache line
+/// of `X`, and few enough registers that the compiler keeps them enregistered
+/// alongside the value/index streams).
+pub const SPMM_COL_TILE: usize = 8;
+
+std::thread_local! {
+    /// Reusable per-thread column decode buffer for the delta kernel.
+    static SPMM_DECODE_BUF: std::cell::RefCell<Vec<u32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// One row of the output: `Σ_j vals[j] · X[cols[j], ·]`, computed tile by
+/// tile with [`SPMM_COL_TILE`] register accumulators, written through `yp`.
+///
+/// # Safety
+/// `yp` must point at a `nrows × k` row-major buffer and row `i` must be
+/// owned exclusively by the calling thread.
+#[inline]
+unsafe fn row_spmm_write(
+    i: usize,
+    cols: &[u32],
+    vals: &[f64],
+    xs: &[f64],
+    k: usize,
+    yp: &SendMutPtr<f64>,
+) {
+    let mut t0 = 0;
+    while t0 < k {
+        let tl = (k - t0).min(SPMM_COL_TILE);
+        let mut acc = [0.0f64; SPMM_COL_TILE];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let base = c as usize * k + t0;
+            let xr = &xs[base..base + tl];
+            for (a, &xv) in acc[..tl].iter_mut().zip(xr) {
+                *a += v * xv;
+            }
+        }
+        for (t, &a) in acc[..tl].iter().enumerate() {
+            // SAFETY: forwarded from the caller's contract.
+            unsafe { yp.write(i * k + t0 + t, a) };
+        }
+        t0 += tl;
+    }
+}
+
+/// Pool-parallel SpMM over plain CSR.
+pub struct CsrSpmm {
+    matrix: Arc<CsrMatrix>,
+    ctx: Arc<ExecCtx>,
+    schedule: Schedule,
+    resolved: ResolvedSchedule,
+}
+
+impl CsrSpmm {
+    /// Builds the kernel, resolving the schedule against the matrix.
+    pub fn new(matrix: Arc<CsrMatrix>, schedule: Schedule, ctx: Arc<ExecCtx>) -> Self {
+        let resolved = schedule.resolve(&matrix, ctx.nthreads());
+        Self {
+            matrix,
+            ctx,
+            schedule,
+            resolved,
+        }
+    }
+
+    /// Baseline: static nnz-balanced row partition (the SpMV baseline's
+    /// distribution).
+    pub fn baseline(matrix: Arc<CsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        Self::new(matrix, Schedule::StaticNnz, ctx)
+    }
+}
+
+impl SpmmKernel for CsrSpmm {
+    fn name(&self) -> String {
+        format!("csr-spmm[{}]", self.schedule.label())
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn spmm(&self, x: &MultiVec, y: &mut MultiVec) {
+        let m = &self.matrix;
+        check_spmm_operands(m.nrows(), m.ncols(), x, y);
+        let k = x.width();
+        let xs = x.as_slice();
+        let yp = SendMutPtr::new(y.as_mut_slice());
+        self.resolved.execute(&self.ctx, m.nrows(), |rows| {
+            for i in rows {
+                // SAFETY: the schedule dispenses each row exactly once, so
+                // writes to y's row i are disjoint across threads.
+                unsafe { row_spmm_write(i, m.row_cols(i), m.row_vals(i), xs, k, &yp) };
+            }
+        });
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+/// Pool-parallel SpMM over delta-compressed CSR (column indices decoded into
+/// a per-thread buffer once per row, then reused by every column tile).
+pub struct DeltaSpmm {
+    matrix: Arc<DeltaCsrMatrix>,
+    ctx: Arc<ExecCtx>,
+    schedule: Schedule,
+    resolved: ResolvedSchedule,
+}
+
+impl DeltaSpmm {
+    /// Builds the kernel; nnz-balanced schedules resolve against the
+    /// preserved rowptr.
+    pub fn new(matrix: Arc<DeltaCsrMatrix>, schedule: Schedule, ctx: Arc<ExecCtx>) -> Self {
+        let resolved =
+            schedule.resolve_with_rowptr(matrix.nrows(), matrix.rowptr(), ctx.nthreads());
+        Self {
+            matrix,
+            ctx,
+            schedule,
+            resolved,
+        }
+    }
+
+    /// Baseline: static nnz-balanced partition.
+    pub fn baseline(matrix: Arc<DeltaCsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        Self::new(matrix, Schedule::StaticNnz, ctx)
+    }
+}
+
+impl SpmmKernel for DeltaSpmm {
+    fn name(&self) -> String {
+        let w = match self.matrix.width() {
+            crate::delta::DeltaWidth::U8 => "d8",
+            crate::delta::DeltaWidth::U16 => "d16",
+        };
+        format!("csr-delta-{w}-spmm[{}]", self.schedule.label())
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn spmm(&self, x: &MultiVec, y: &mut MultiVec) {
+        let m = &self.matrix;
+        check_spmm_operands(m.nrows(), m.ncols(), x, y);
+        let k = x.width();
+        let xs = x.as_slice();
+        let yp = SendMutPtr::new(y.as_mut_slice());
+        self.resolved.execute(&self.ctx, m.nrows(), |rows| {
+            SPMM_DECODE_BUF.with(|buf| {
+                let mut decoded = buf.borrow_mut();
+                for i in rows.clone() {
+                    decoded.clear();
+                    m.decode_row_into(i, &mut decoded);
+                    let vals = &m.values()[m.rowptr()[i]..m.rowptr()[i + 1]];
+                    // SAFETY: row-disjoint writes per the schedule.
+                    unsafe { row_spmm_write(i, &decoded, vals, xs, k, &yp) };
+                }
+            });
+        });
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+/// Pool-parallel SpMM over BCSR: each stored `r × c` block multiplies `c`
+/// rows of `X` into `r` rows of a block-row-local accumulator, so the dense
+/// payload streams once per column tile with fixed trip counts.
+pub struct BcsrSpmm {
+    matrix: Arc<BcsrMatrix>,
+    ctx: Arc<ExecCtx>,
+    /// Block rows per thread, balanced by stored-block count.
+    partition: Partition,
+}
+
+impl BcsrSpmm {
+    /// Builds the kernel with a block-count-balanced static partition of the
+    /// block rows.
+    pub fn new(matrix: Arc<BcsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        let partition = Partition::by_rowptr(matrix.browptr(), ctx.nthreads());
+        Self {
+            matrix,
+            ctx,
+            partition,
+        }
+    }
+}
+
+impl SpmmKernel for BcsrSpmm {
+    fn name(&self) -> String {
+        let (r, c) = self.matrix.block_shape();
+        format!("bcsr-{r}x{c}-spmm[static-blocks]")
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn spmm(&self, x: &MultiVec, y: &mut MultiVec) {
+        let m = &self.matrix;
+        check_spmm_operands(m.nrows(), m.ncols(), x, y);
+        let k = x.width();
+        let (r, c) = m.block_shape();
+        let nrows = m.nrows();
+        let ncols = m.ncols();
+        let xs = x.as_slice();
+        let yp = SendMutPtr::new(y.as_mut_slice());
+        let partition = self.partition.clone();
+        self.ctx.run(|tid| {
+            if tid >= partition.len() {
+                return;
+            }
+            // Block-row-local accumulator: r rows × k columns, reused.
+            let mut acc = vec![0.0f64; r * k];
+            for br in partition.range(tid) {
+                let row_lo = br * r;
+                let rows_here = (nrows - row_lo).min(r);
+                acc[..rows_here * k].fill(0.0);
+                for bk in m.browptr()[br]..m.browptr()[br + 1] {
+                    let col_lo = m.bcolind()[bk] as usize * c;
+                    let cols_here = (ncols - col_lo).min(c);
+                    let payload = &m.blocks()[bk * r * c..(bk + 1) * r * c];
+                    for di in 0..rows_here {
+                        let arow = &mut acc[di * k..(di + 1) * k];
+                        for dj in 0..cols_here {
+                            // Explicit fill zeros multiply through, exactly
+                            // like BcsrMatrix::spmv — a branch here would
+                            // also cost more than the madd it skips.
+                            let a = payload[di * c + dj];
+                            let xr = &xs[(col_lo + dj) * k..(col_lo + dj + 1) * k];
+                            for (av, &xv) in arow.iter_mut().zip(xr) {
+                                *av += a * xv;
+                            }
+                        }
+                    }
+                }
+                for di in 0..rows_here {
+                    for t in 0..k {
+                        // SAFETY: block rows are dispensed to exactly one
+                        // thread, so these output rows are thread-exclusive.
+                        unsafe { yp.write((row_lo + di) * k + t, acc[di * k + t]) };
+                    }
+                }
+            }
+        });
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+/// Pool-parallel SpMM over ELLPACK: the row loop is partitioned by rows and
+/// each row walks its fixed-width slot list once per column tile.
+pub struct EllSpmm {
+    matrix: Arc<EllMatrix>,
+    ctx: Arc<ExecCtx>,
+    partition: Partition,
+}
+
+impl EllSpmm {
+    /// Builds the kernel with an equal-row-count partition (ELL's fixed
+    /// width makes rows near-uniform by construction).
+    pub fn new(matrix: Arc<EllMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        let partition = Partition::by_rows(matrix.nrows(), ctx.nthreads());
+        Self {
+            matrix,
+            ctx,
+            partition,
+        }
+    }
+}
+
+impl SpmmKernel for EllSpmm {
+    fn name(&self) -> String {
+        format!("ell-w{}-spmm[static-rows]", self.matrix.width())
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn spmm(&self, x: &MultiVec, y: &mut MultiVec) {
+        let m = &self.matrix;
+        check_spmm_operands(m.nrows(), m.ncols(), x, y);
+        let k = x.width();
+        let width = m.width();
+        let xs = x.as_slice();
+        let yp = SendMutPtr::new(y.as_mut_slice());
+        let partition = self.partition.clone();
+        self.ctx.run(|tid| {
+            if tid >= partition.len() {
+                return;
+            }
+            for i in partition.range(tid) {
+                let mut t0 = 0;
+                while t0 < k {
+                    let tl = (k - t0).min(SPMM_COL_TILE);
+                    let mut acc = [0.0f64; SPMM_COL_TILE];
+                    for s in 0..width {
+                        let c = m.slot_cols(s)[i];
+                        if c == PAD {
+                            continue;
+                        }
+                        let v = m.slot_vals(s)[i];
+                        let base = c as usize * k + t0;
+                        let xr = &xs[base..base + tl];
+                        for (a, &xv) in acc[..tl].iter_mut().zip(xr) {
+                            *a += v * xv;
+                        }
+                    }
+                    for (t, &a) in acc[..tl].iter().enumerate() {
+                        // SAFETY: the static row partition is disjoint.
+                        unsafe { yp.write(i * k + t0 + t, a) };
+                    }
+                    t0 += tl;
+                }
+            }
+        });
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+/// Two-phase SpMM over a decomposed matrix (paper Fig. 6 generalized to `k`
+/// right-hand sides): phase 1 runs the tiled row loop over short rows;
+/// phase 2 splits every long row's nonzeros across all threads and reduces
+/// `k`-wide partial sums.
+pub struct DecomposedSpmm {
+    matrix: Arc<DecomposedCsrMatrix>,
+    ctx: Arc<ExecCtx>,
+    phase1: ResolvedSchedule,
+}
+
+impl DecomposedSpmm {
+    /// Builds the kernel; the phase-1 schedule balances short-row nonzeros.
+    pub fn new(matrix: Arc<DecomposedCsrMatrix>, schedule: Schedule, ctx: Arc<ExecCtx>) -> Self {
+        let phase1 =
+            schedule.resolve_with_rowptr(matrix.nrows(), matrix.short_rowptr(), ctx.nthreads());
+        Self {
+            matrix,
+            ctx,
+            phase1,
+        }
+    }
+
+    /// Baseline: nnz-balanced phase 1.
+    pub fn baseline(matrix: Arc<DecomposedCsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        Self::new(matrix, Schedule::StaticNnz, ctx)
+    }
+}
+
+impl SpmmKernel for DecomposedSpmm {
+    fn name(&self) -> String {
+        "csr-decomposed-spmm".into()
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn spmm(&self, x: &MultiVec, y: &mut MultiVec) {
+        let m = &self.matrix;
+        check_spmm_operands(m.nrows(), m.ncols(), x, y);
+        let k = x.width();
+        let nthreads = self.ctx.nthreads();
+        let long_rows = m.long_rows();
+        let cols = m.colind();
+        let vals = m.values();
+        let xs = x.as_slice();
+
+        // Phase 1: tiled row loop, long rows skipped (empty short ranges).
+        let yp = SendMutPtr::new(y.as_mut_slice());
+        self.phase1.execute(&self.ctx, m.nrows(), |rows| {
+            for i in rows {
+                if m.is_long(i) {
+                    continue;
+                }
+                let r = m.row_range(i);
+                // SAFETY: row-disjoint writes per the schedule.
+                unsafe { row_spmm_write(i, &cols[r.clone()], &vals[r], xs, k, &yp) };
+            }
+        });
+
+        // Phase 2: every thread computes a k-wide slice of each long row.
+        if long_rows.is_empty() {
+            return;
+        }
+        let mut partials = vec![0.0f64; long_rows.len() * nthreads * k];
+        let pp = SendMutPtr::new(&mut partials);
+        self.ctx.run(|tid| {
+            for (li, &row) in long_rows.iter().enumerate() {
+                let r = m.row_range(row as usize);
+                let len = r.len();
+                let chunk = len.div_ceil(nthreads);
+                let s = r.start + (tid * chunk).min(len);
+                let e = r.start + ((tid + 1) * chunk).min(len);
+                if s < e {
+                    // SAFETY: slot (li, tid) is written only by thread tid.
+                    unsafe {
+                        row_spmm_write(li * nthreads + tid, &cols[s..e], &vals[s..e], xs, k, &pp)
+                    };
+                }
+            }
+        });
+        for (li, &row) in long_rows.iter().enumerate() {
+            let out = y.row_mut(row as usize);
+            out.fill(0.0);
+            for tid in 0..nthreads {
+                let p = &partials[(li * nthreads + tid) * k..(li * nthreads + tid + 1) * k];
+                for (o, &v) in out.iter_mut().zip(p) {
+                    *o += v;
+                }
+            }
+        }
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::kernels::{SerialCsr, SpmvKernel};
+
+    fn random_matrix(n: usize, per_row: usize, seed: u64) -> Arc<CsrMatrix> {
+        let mut coo = CooMatrix::new(n, n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            for _ in 0..per_row {
+                let c = (next() % n as u64) as usize;
+                coo.push(i, c, (next() % 1000) as f64 / 100.0 - 5.0);
+            }
+        }
+        Arc::new(CsrMatrix::from_coo(&coo))
+    }
+
+    /// Reference: k independent serial SpMVs, one per column.
+    fn spmv_columns(csr: &Arc<CsrMatrix>, x: &MultiVec) -> MultiVec {
+        let kernel = SerialCsr::new(csr.clone());
+        let mut y = MultiVec::zeros(csr.nrows(), x.width());
+        for j in 0..x.width() {
+            let xj = x.column(j);
+            let mut yj = vec![0.0; csr.nrows()];
+            kernel.spmv(&xj, &mut yj);
+            y.set_column(j, &yj);
+        }
+        y
+    }
+
+    fn assert_close(name: &str, got: &MultiVec, want: &MultiVec) {
+        assert_eq!(got.nrows(), want.nrows());
+        assert_eq!(got.width(), want.width());
+        for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                "{name}: flat index {i} differs: {a} vs {b}"
+            );
+        }
+    }
+
+    fn all_kernels(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SpmmKernel>> {
+        let threshold = DecomposedCsrMatrix::auto_threshold(csr, 4.0);
+        vec![
+            Box::new(CsrSpmm::baseline(csr.clone(), ctx.clone())),
+            Box::new(CsrSpmm::new(
+                csr.clone(),
+                Schedule::Dynamic { chunk: 3 },
+                ctx.clone(),
+            )),
+            Box::new(DeltaSpmm::baseline(
+                Arc::new(DeltaCsrMatrix::from_csr(csr)),
+                ctx.clone(),
+            )),
+            Box::new(BcsrSpmm::new(
+                Arc::new(BcsrMatrix::from_csr(csr, 2, 3)),
+                ctx.clone(),
+            )),
+            Box::new(EllSpmm::new(
+                Arc::new(EllMatrix::from_csr(csr)),
+                ctx.clone(),
+            )),
+            Box::new(DecomposedSpmm::baseline(
+                Arc::new(DecomposedCsrMatrix::from_csr(csr, threshold)),
+                ctx.clone(),
+            )),
+        ]
+    }
+
+    #[test]
+    fn every_kernel_matches_columnwise_spmv() {
+        let csr = random_matrix(120, 5, 0x9e3779b97f4a7c15);
+        let ctx = ExecCtx::new(3);
+        for k in [1usize, 3, 8, 11] {
+            let x = MultiVec::from_fn(csr.ncols(), k, |i, j| {
+                ((i * 7 + j * 13) as f64 * 0.21).sin()
+            });
+            let want = spmv_columns(&csr, &x);
+            for kernel in all_kernels(&csr, &ctx) {
+                let mut y = MultiVec::zeros(csr.nrows(), k);
+                y.fill(f64::NAN);
+                kernel.spmm(&x, &mut y);
+                assert_close(&format!("{} k={k}", kernel.name()), &y, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_matrix_exercises_decomposed_phase2() {
+        let mut coo = CooMatrix::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, i, 3.0);
+        }
+        for j in 0..64 {
+            coo.push(7, j, 0.25 * (j % 5) as f64 + 0.5);
+        }
+        let csr = Arc::new(CsrMatrix::from_coo(&coo));
+        let ctx = ExecCtx::new(4);
+        let dec = Arc::new(DecomposedCsrMatrix::from_csr(&csr, 8));
+        assert_eq!(dec.long_rows(), &[7]);
+        let x = MultiVec::from_fn(64, 5, |i, j| (i + j) as f64 * 0.1);
+        let want = spmv_columns(&csr, &x);
+        let mut y = MultiVec::zeros(64, 5);
+        DecomposedSpmm::baseline(dec, ctx).spmm(&x, &mut y);
+        assert_close("decomposed long row", &y, &want);
+    }
+
+    #[test]
+    fn flops_scale_with_k() {
+        let csr = random_matrix(32, 3, 7);
+        let k = CsrSpmm::baseline(csr.clone(), ExecCtx::new(1));
+        assert_eq!(k.flops(4), 4.0 * 2.0 * csr.nnz() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "x rows")]
+    fn shape_mismatch_panics() {
+        let csr = random_matrix(10, 2, 3);
+        let kernel = CsrSpmm::baseline(csr, ExecCtx::new(1));
+        let x = MultiVec::zeros(4, 2);
+        let mut y = MultiVec::zeros(10, 2);
+        kernel.spmm(&x, &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_mismatch_panics() {
+        let csr = random_matrix(10, 2, 3);
+        let kernel = CsrSpmm::baseline(csr, ExecCtx::new(1));
+        let x = MultiVec::zeros(10, 2);
+        let mut y = MultiVec::zeros(10, 3);
+        kernel.spmm(&x, &mut y);
+    }
+}

@@ -12,7 +12,11 @@
 //! - [`delta`] — delta-compressed column indices (MB optimization).
 //! - [`decomposed`] — long-row decomposition (IMB optimization, Fig. 5/6).
 //! - [`kernels`] — the SpMV kernel family (Fig. 2 baseline, Table II
-//!   optimizations, Section III-B micro-benchmarks).
+//!   optimizations, Section III-B micro-benchmarks) and the SpMM kernel
+//!   family (`Y = A·X`, one [`kernels::SpmmKernel`] per format).
+//! - [`multivec`] — dense row-major multi-vector (`X ∈ R^{n×k}`) backing the
+//!   multiple-right-hand-side workload; each fetched nonzero is reused `k`
+//!   times, amortizing the matrix stream.
 //! - [`partition`] / [`schedule`] / [`pool`] — row partitioning, loop
 //!   scheduling policies, and the timed thread pool.
 //!
@@ -40,6 +44,7 @@ pub mod decomposed;
 pub mod delta;
 pub mod ell;
 pub mod kernels;
+pub mod multivec;
 pub mod partition;
 pub mod pool;
 pub mod schedule;
@@ -54,9 +59,11 @@ pub mod prelude {
     pub use crate::delta::{DeltaCsrMatrix, DeltaWidth};
     pub use crate::ell::EllMatrix;
     pub use crate::kernels::{
-        gflops, CsrKernelConfig, DecomposedKernel, DeltaKernel, InnerLoop, ParallelCsr, SerialCsr,
-        SpmvKernel, UnitStrideCsr,
+        gflops, BcsrSpmm, CsrKernelConfig, CsrSpmm, DecomposedKernel, DecomposedSpmm, DeltaKernel,
+        DeltaSpmm, EllSpmm, InnerLoop, ParallelCsr, SerialCsr, SpmmKernel, SpmvKernel,
+        UnitStrideCsr,
     };
+    pub use crate::multivec::MultiVec;
     pub use crate::partition::Partition;
     pub use crate::pool::ExecCtx;
     pub use crate::schedule::Schedule;

@@ -1,0 +1,186 @@
+//! Dense multi-vector storage for SpMM (`X ∈ R^{n×k}`).
+//!
+//! The multiple-right-hand-side workload stores its `k` dense vectors
+//! **row-major**: all `k` values of logical row `i` are contiguous. This is
+//! the layout that makes SpMM profitable — every fetched nonzero `a_ij`
+//! multiplies the whole row `x[j, 0..k]` with unit-stride loads, so the
+//! matrix stream is amortized over `k` flops per element instead of one
+//! (the reuse-factor argument behind the analytic SpMM model in
+//! `sparseopt-sim`).
+//!
+//! ```
+//! use sparseopt_core::MultiVec;
+//!
+//! let x = MultiVec::from_fn(3, 2, |row, col| (row * 10 + col) as f64);
+//! assert_eq!(x.row(1), &[10.0, 11.0]);
+//! assert_eq!(x.column(1), vec![1.0, 11.0, 21.0]);
+//! ```
+
+/// A dense `nrows × k` block of column vectors, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiVec {
+    nrows: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl MultiVec {
+    /// An all-zero `nrows × k` multi-vector.
+    ///
+    /// # Panics
+    /// Panics for `k == 0` (a multi-vector holds at least one column).
+    pub fn zeros(nrows: usize, k: usize) -> Self {
+        assert!(k > 0, "MultiVec needs at least one column");
+        Self {
+            nrows,
+            k,
+            data: vec![0.0; nrows * k],
+        }
+    }
+
+    /// Builds from a per-entry function `f(row, col)`.
+    pub fn from_fn(nrows: usize, k: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut v = Self::zeros(nrows, k);
+        for i in 0..nrows {
+            for j in 0..k {
+                v.data[i * k + j] = f(i, j);
+            }
+        }
+        v
+    }
+
+    /// Builds from `k` equal-length column vectors.
+    ///
+    /// # Panics
+    /// Panics on zero columns or ragged lengths.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+        assert!(!cols.is_empty(), "MultiVec needs at least one column");
+        let nrows = cols[0].len();
+        assert!(
+            cols.iter().all(|c| c.len() == nrows),
+            "all columns must have equal length"
+        );
+        Self::from_fn(nrows, cols.len(), |i, j| cols[j][i])
+    }
+
+    /// Number of logical rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (right-hand sides), the reuse factor `k`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.k
+    }
+
+    /// Row `i` as a contiguous `k`-slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Copies column `j` out into a contiguous vector (strided read).
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.k, "column {j} out of bounds (k = {})", self.k);
+        (0..self.nrows).map(|i| self.data[i * self.k + j]).collect()
+    }
+
+    /// Writes a contiguous vector into column `j` (strided write).
+    ///
+    /// # Panics
+    /// Panics on column index or length mismatch.
+    pub fn set_column(&mut self, j: usize, col: &[f64]) {
+        assert!(j < self.k, "column {j} out of bounds (k = {})", self.k);
+        assert_eq!(col.len(), self.nrows, "column length mismatch");
+        for (i, &v) in col.iter().enumerate() {
+            self.data[i * self.k + j] = v;
+        }
+    }
+
+    /// The whole storage, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable storage, row-major.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Euclidean norm of each column.
+    pub fn column_norms(&self) -> Vec<f64> {
+        let mut sq = vec![0.0f64; self.k];
+        for row in self.data.chunks_exact(self.k) {
+            for (s, &v) in sq.iter_mut().zip(row) {
+                *s += v * v;
+            }
+        }
+        sq.iter().map(|s| s.sqrt()).collect()
+    }
+
+    /// Storage footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_columns() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let v = MultiVec::from_columns(&cols);
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v.width(), 2);
+        assert_eq!(v.column(0), cols[0]);
+        assert_eq!(v.column(1), cols[1]);
+        assert_eq!(v.row(1), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn set_column_matches_from_fn() {
+        let mut v = MultiVec::zeros(4, 3);
+        v.set_column(2, &[1.0, 2.0, 3.0, 4.0]);
+        let w = MultiVec::from_fn(4, 3, |i, j| if j == 2 { (i + 1) as f64 } else { 0.0 });
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn column_norms_per_column() {
+        let v = MultiVec::from_columns(&[vec![3.0, 4.0], vec![0.0, 2.0]]);
+        let n = v.column_norms();
+        assert!((n[0] - 5.0).abs() < 1e-15);
+        assert!((n[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_width_rejected() {
+        MultiVec::zeros(4, 0);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let v = MultiVec::zeros(0, 3);
+        assert_eq!(v.nrows(), 0);
+        assert_eq!(v.as_slice().len(), 0);
+        assert_eq!(v.column_norms(), vec![0.0; 3]);
+    }
+}

@@ -58,6 +58,28 @@ impl Schedule {
             Schedule::Auto => resolve_auto(csr, nthreads),
         }
     }
+
+    /// Resolves the policy against an explicit row pointer — for formats
+    /// that preserve a rowptr without being plain CSR (delta-compressed,
+    /// decomposed short rows). `StaticNnz` and `Auto` both fall back to an
+    /// nnz-balanced static partition over `rowptr`.
+    pub fn resolve_with_rowptr(
+        &self,
+        nrows: usize,
+        rowptr: &[usize],
+        nthreads: usize,
+    ) -> ResolvedSchedule {
+        match self {
+            Schedule::StaticRows => ResolvedSchedule::Static(Partition::by_rows(nrows, nthreads)),
+            Schedule::Dynamic { chunk } => ResolvedSchedule::Dynamic {
+                chunk: (*chunk).max(1),
+            },
+            Schedule::Guided { min_chunk } => ResolvedSchedule::Guided {
+                min_chunk: (*min_chunk).max(1),
+            },
+            _ => ResolvedSchedule::Static(Partition::by_rowptr(rowptr, nthreads)),
+        }
+    }
 }
 
 /// The `auto` heuristic: highly skewed row lengths ⇒ small dynamic chunks;

@@ -1,8 +1,8 @@
 //! # sparseopt-sim
 //!
 //! The hardware-substitution substrate: Table III platform descriptors, a
-//! set-associative LRU cache simulator, an analytic SpMV execution-time
-//! model, and host STREAM micro-benchmarks.
+//! set-associative LRU cache simulator, analytic SpMV and SpMM (multi-RHS)
+//! execution-time models, and host STREAM micro-benchmarks.
 //!
 //! The paper evaluates on Intel KNC, KNL, and Broadwell testbeds that are
 //! not available here; `simulate` reproduces the *mechanisms* those results
@@ -19,8 +19,12 @@ pub mod roofline;
 pub use cache::{CacheHierarchy, CacheSim};
 pub use membench::{host_platform, stream_triad_gbs};
 pub use model::{
-    analytic_mb_bound, analytic_peak_bound, simulate, simulate_cmp_bound, simulate_imb_bound,
-    simulate_ml_bound, SimFormat, SimKernelConfig, SimMatrixProfile, SimResult,
+    analytic_mb_bound, analytic_peak_bound, analytic_spmm_mb_bound, analytic_spmm_peak_bound,
+    simulate, simulate_cmp_bound, simulate_imb_bound, simulate_ml_bound, simulate_spmm,
+    simulate_spmm_cmp_bound, simulate_spmm_imb_bound, simulate_spmm_ml_bound, SimFormat,
+    SimKernelConfig, SimMatrixProfile, SimResult,
 };
 pub use platform::Platform;
-pub use roofline::{spmv_intensity, spmv_intensity_values_only, Roofline, RooflinePoint};
+pub use roofline::{
+    spmm_intensity, spmv_intensity, spmv_intensity_values_only, Roofline, RooflinePoint,
+};

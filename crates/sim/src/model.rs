@@ -95,6 +95,9 @@ pub struct SimMatrixProfile {
     pub delta_index_bytes_per_nnz: f64,
     /// CSR footprint + x + y, bytes (working set for bandwidth selection).
     pub working_set_bytes: usize,
+    /// Bytes of the dense vectors alone (`x` + `y` at `k = 1`); each extra
+    /// right-hand side in an SpMM call adds this much to the working set.
+    pub vector_bytes: usize,
     /// Size scale factor: the stand-in matrix models a UF original `scale`×
     /// larger. Caches are shrunk by `scale` in the x-miss simulation and the
     /// working set is grown by `scale` for residency decisions; per-nonzero
@@ -166,7 +169,8 @@ impl SimMatrixProfile {
         let max_row_nnz = (0..csr.nrows()).map(|i| csr.row_nnz(i)).max().unwrap_or(0);
         let delta = DeltaCsrMatrix::from_csr(csr);
         let delta_index_bytes_per_nnz = delta.index_compression_ratio() * 4.0;
-        let working_set_bytes = csr.footprint_bytes() + (csr.ncols() + csr.nrows()) * 8;
+        let vector_bytes = (csr.ncols() + csr.nrows()) * 8;
+        let working_set_bytes = csr.footprint_bytes() + vector_bytes;
 
         Self {
             nthreads,
@@ -182,6 +186,7 @@ impl SimMatrixProfile {
             max_row_nnz,
             delta_index_bytes_per_nnz,
             working_set_bytes,
+            vector_bytes,
             scale,
             nnz: csr.nnz(),
             nrows: csr.nrows(),
@@ -229,12 +234,45 @@ struct ThreadWork {
     sched_cycles: f64,
 }
 
-/// Simulates one kernel configuration.
+/// Simulates one kernel configuration (the `k = 1` case of
+/// [`simulate_spmm`]).
 pub fn simulate(
     profile: &SimMatrixProfile,
     platform: &Platform,
     config: &SimKernelConfig,
 ) -> SimResult {
+    simulate_spmm(profile, platform, config, 1)
+}
+
+/// Simulates one SpMM execution (`Y = A·X`, `X ∈ R^{n×k}`) of a kernel
+/// configuration.
+///
+/// The model generalizes the SpMV model by the **reuse factor** `k`: the
+/// matrix stream (values + indices + rowptr) is paid once per call and
+/// amortized over `k` right-hand sides, while compute, `y` write-back, and
+/// the dense-vector working set scale with `k`. Consequences the tests pin
+/// down: time per right-hand side (`secs / k`) is non-increasing in `k` for
+/// a fixed residency regime, and `k = 1` reproduces [`simulate`] exactly.
+///
+/// Specifics per thread:
+/// * **compute**: `k` fused multiply-adds per nonzero; the per-row loop
+///   overhead is paid once per [`sparseopt_core::kernels::SPMM_COL_TILE`]
+///   column tile (linearly interpolated, so it amortizes smoothly);
+/// * **bandwidth**: matrix bytes unchanged, `y` traffic `× k`, and each
+///   `x` miss now pulls `max(line, 8k)` bytes — a missed row of `X` is
+///   `k` contiguous doubles;
+/// * **latency**: irregular-miss stalls are paid once per nonzero, not once
+///   per right-hand side — the trailing bytes of a missed `X` row stream
+///   behind the first line.
+pub fn simulate_spmm(
+    profile: &SimMatrixProfile,
+    platform: &Platform,
+    config: &SimKernelConfig,
+    k: usize,
+) -> SimResult {
+    assert!(k >= 1, "SpMM needs at least one right-hand side");
+    let kf = k as f64;
+    let tile = sparseopt_core::kernels::SPMM_COL_TILE as f64;
     let nthreads = profile.nthreads;
     let nnz_total = profile.nnz as f64;
     let work = distribute(profile, config);
@@ -274,14 +312,17 @@ pub fn simulate(
     };
 
     // Working set decides which STREAM figure applies; compression shrinks
-    // it; the suite scale factor grows it to the modeled original's size.
+    // it, extra right-hand sides grow the dense vectors, and the suite scale
+    // factor grows it to the modeled original's size.
+    let extra_vec_bytes = (kf - 1.0) * profile.vector_bytes as f64;
     let ws = match config.format {
         SimFormat::DeltaCsr => {
             ((profile.working_set_bytes as f64
-                - (4.0 - profile.delta_index_bytes_per_nnz) * nnz_total)
+                - (4.0 - profile.delta_index_bytes_per_nnz) * nnz_total
+                + extra_vec_bytes)
                 * profile.scale) as usize
         }
-        _ => profile.effective_working_set(),
+        _ => ((profile.working_set_bytes as f64 + extra_vec_bytes) * profile.scale) as usize,
     };
     let bw_total = platform.bandwidth_for_working_set(ws) * 1e9;
     // A single core cannot pull the whole chip's bandwidth; cap its share.
@@ -305,13 +346,21 @@ pub fn simulate(
     let mut thread_secs = Vec::with_capacity(nthreads);
     let mut traffic = 0.0f64;
     for w in &work {
-        // Compute: elements + per-row loop overhead + schedule machinery.
-        let compute_cycles =
-            w.nnz * cpe + w.rows * (platform.row_overhead_cycles + row_extra) + w.sched_cycles;
+        // Compute: k fused multiply-adds per element + per-row loop overhead
+        // (amortized over column tiles) + schedule machinery.
+        let row_pass = (tile + kf - 1.0) / tile;
+        let compute_cycles = w.nnz * cpe * kf
+            + w.rows * (platform.row_overhead_cycles + row_extra) * row_pass
+            + w.sched_cycles;
         let compute = compute_cycles / freq;
 
-        // Bandwidth: matrix stream (values + indices + rowptr) + y + x misses.
-        let bytes = w.nnz * (8.0 + index_bpn) + w.rows * 16.0 + w.misses * line;
+        // Bandwidth: matrix stream (values + indices + rowptr) paid once,
+        // y write-back paid k times, and each x miss pulls a k-double row
+        // of X (at least one line).
+        let bytes = w.nnz * (8.0 + index_bpn)
+            + w.rows * 8.0
+            + w.rows * 8.0 * kf
+            + w.misses * line.max(8.0 * kf);
         let bw_share = (bw_total * (w.nnz / nnz_total.max(1.0)))
             .max(1.0)
             .min(bw_core);
@@ -338,7 +387,7 @@ pub fn simulate(
     let secs = thread_secs.iter().copied().fold(0.0, f64::max).max(1e-12);
     SimResult {
         secs,
-        gflops: 2.0 * nnz_total / secs / 1e9,
+        gflops: 2.0 * nnz_total * kf / secs / 1e9,
         thread_secs,
         traffic_bytes: traffic,
     }
@@ -463,32 +512,61 @@ fn distribute(profile: &SimMatrixProfile, config: &SimKernelConfig) -> Vec<Threa
 /// `P_MB` (format footprint at max bandwidth) and `P_peak` (values-only
 /// footprint at max bandwidth).
 pub fn analytic_mb_bound(profile: &SimMatrixProfile, platform: &Platform) -> f64 {
-    let bytes = profile.working_set_bytes as f64;
-    let bw = platform.bandwidth_for_working_set(profile.effective_working_set()) * 1e9;
-    2.0 * profile.nnz as f64 / (bytes / bw) / 1e9
+    analytic_spmm_mb_bound(profile, platform, 1)
+}
+
+/// `P_MB` for an SpMM call with `k` right-hand sides: `2·NNZ·k` flops over
+/// the matrix footprint (streamed once) plus `k` copies of the dense
+/// vectors. The per-nonzero matrix traffic divides by the reuse factor, so
+/// this roof rises with `k` toward the values-only ceiling.
+pub fn analytic_spmm_mb_bound(profile: &SimMatrixProfile, platform: &Platform, k: usize) -> f64 {
+    assert!(k >= 1, "SpMM needs at least one right-hand side");
+    let bytes = profile.working_set_bytes as f64 + (k - 1) as f64 * profile.vector_bytes as f64;
+    let ws = (bytes * profile.scale) as usize;
+    let bw = platform.bandwidth_for_working_set(ws) * 1e9;
+    2.0 * profile.nnz as f64 * k as f64 / (bytes / bw) / 1e9
 }
 
 /// `P_peak`: indexing structures compressed away entirely.
 pub fn analytic_peak_bound(profile: &SimMatrixProfile, platform: &Platform) -> f64 {
-    let bytes = (profile.nnz * 8 + (profile.nrows * 2) * 8) as f64;
-    let bw = platform.bandwidth_for_working_set(profile.effective_working_set()) * 1e9;
-    2.0 * profile.nnz as f64 / (bytes / bw) / 1e9
+    analytic_spmm_peak_bound(profile, platform, 1)
+}
+
+/// `P_peak` for an SpMM call with `k` right-hand sides (values-only matrix
+/// stream plus `k` copies of the dense vectors).
+pub fn analytic_spmm_peak_bound(profile: &SimMatrixProfile, platform: &Platform, k: usize) -> f64 {
+    assert!(k >= 1, "SpMM needs at least one right-hand side");
+    let bytes = (profile.nnz * 8 + (profile.nrows * 2) * 8 * k) as f64;
+    let ws = ((profile.working_set_bytes + (k - 1) * profile.vector_bytes) as f64 * profile.scale)
+        as usize;
+    let bw = platform.bandwidth_for_working_set(ws) * 1e9;
+    2.0 * profile.nnz as f64 * k as f64 / (bytes / bw) / 1e9
 }
 
 /// `P_ML` bound (paper §III-B): the baseline kernel with irregular accesses
 /// to `x` "converted to regular accesses" — modeled by zeroing the x-miss
 /// counts (all x loads hit cache).
 pub fn simulate_ml_bound(profile: &SimMatrixProfile, platform: &Platform) -> f64 {
+    simulate_spmm_ml_bound(profile, platform, 1)
+}
+
+/// `P_ML` for an SpMM call with `k` right-hand sides.
+pub fn simulate_spmm_ml_bound(profile: &SimMatrixProfile, platform: &Platform, k: usize) -> f64 {
     let mut regular = profile.clone();
     regular.x_misses = vec![0; regular.nthreads];
     regular.x_irregular_misses = vec![0; regular.nthreads];
-    simulate(&regular, platform, &SimKernelConfig::baseline()).gflops
+    simulate_spmm(&regular, platform, &SimKernelConfig::baseline(), k).gflops
 }
 
 /// `P_CMP` bound (paper §III-B): indirect references eliminated entirely —
 /// no `colind` stream, no x misses, unit-stride access only. A "very loose"
 /// upper bound by construction.
 pub fn simulate_cmp_bound(profile: &SimMatrixProfile, platform: &Platform) -> f64 {
+    simulate_spmm_cmp_bound(profile, platform, 1)
+}
+
+/// `P_CMP` for an SpMM call with `k` right-hand sides.
+pub fn simulate_spmm_cmp_bound(profile: &SimMatrixProfile, platform: &Platform, k: usize) -> f64 {
     let mut unit = profile.clone();
     unit.x_misses = vec![0; unit.nthreads];
     unit.x_irregular_misses = vec![0; unit.nthreads];
@@ -496,6 +574,7 @@ pub fn simulate_cmp_bound(profile: &SimMatrixProfile, platform: &Platform) -> f6
     // the matrix as if perfectly delta-compressed to nothing.
     unit.delta_index_bytes_per_nnz = 0.0;
     unit.working_set_bytes = unit.nnz * 8 + (unit.nrows * 2) * 8;
+    unit.vector_bytes = (unit.nrows * 2) * 8;
     // The unit-stride micro-benchmark loop is a plain reduction the
     // compiler auto-vectorizes at -O3, so the bound runs the unrolled loop.
     let cfg = SimKernelConfig {
@@ -507,15 +586,21 @@ pub fn simulate_cmp_bound(profile: &SimMatrixProfile, platform: &Platform) -> f6
     // with CSR cpe by using the Csr format but overriding index bytes via the
     // profile — DeltaCsr reads `delta_index_bytes_per_nnz`, which is 0 here,
     // and costs +0.3 cpe; compensate by granting the scalar loop that much.
-    simulate(&unit, platform, &cfg).gflops
+    simulate_spmm(&unit, platform, &cfg, k).gflops
 }
 
 /// `P_IMB` bound (paper §III-B): `2·NNZ / t_median` over the baseline run's
 /// per-thread times.
 pub fn simulate_imb_bound(profile: &SimMatrixProfile, platform: &Platform) -> f64 {
-    let base = simulate(profile, platform, &SimKernelConfig::baseline());
+    simulate_spmm_imb_bound(profile, platform, 1)
+}
+
+/// `P_IMB` for an SpMM call with `k` right-hand sides
+/// (`2·NNZ·k / t_median`).
+pub fn simulate_spmm_imb_bound(profile: &SimMatrixProfile, platform: &Platform, k: usize) -> f64 {
+    let base = simulate_spmm(profile, platform, &SimKernelConfig::baseline(), k);
     let median = base.median_thread_secs().max(1e-12);
-    2.0 * profile.nnz as f64 / median / 1e9
+    2.0 * profile.nnz as f64 * k as f64 / median / 1e9
 }
 
 /// Resolves `Auto` the way the core library would, for reporting.
@@ -698,6 +783,79 @@ mod tests {
         for p in Platform::paper_platforms() {
             let prof = profile(&csr, &p);
             assert!(analytic_peak_bound(&prof, &p) >= analytic_mb_bound(&prof, &p));
+        }
+    }
+
+    #[test]
+    fn spmm_collapses_to_spmv_at_k1() {
+        let csr = CsrMatrix::from_coo(&g::random_uniform(10_000, 7, 5));
+        for p in Platform::paper_platforms() {
+            let prof = profile(&csr, &p);
+            for cfg in [
+                SimKernelConfig::baseline(),
+                SimKernelConfig {
+                    format: SimFormat::DeltaCsr,
+                    inner: InnerLoop::Simd,
+                    ..SimKernelConfig::baseline()
+                },
+            ] {
+                let spmv = simulate(&prof, &p, &cfg);
+                let spmm = simulate_spmm(&prof, &p, &cfg, 1);
+                assert_eq!(spmv.secs, spmm.secs, "{}", p.name);
+                assert_eq!(spmv.gflops, spmm.gflops, "{}", p.name);
+            }
+            assert_eq!(
+                analytic_mb_bound(&prof, &p),
+                analytic_spmm_mb_bound(&prof, &p, 1)
+            );
+            assert_eq!(
+                analytic_peak_bound(&prof, &p),
+                analytic_spmm_peak_bound(&prof, &p, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_time_per_rhs_never_increases() {
+        // Memory-resident bandwidth-bound matrix: the regime where the
+        // reuse-factor amortization matters most.
+        let csr = CsrMatrix::from_coo(&g::banded(150_000, 12));
+        let knc = Platform::knc();
+        let prof = profile(&csr, &knc);
+        let mut last_per_rhs = f64::INFINITY;
+        for k in [1usize, 2, 3, 4, 6, 8, 12, 16, 32] {
+            let r = simulate_spmm(&prof, &knc, &SimKernelConfig::baseline(), k);
+            let per_rhs = r.secs / k as f64;
+            assert!(
+                per_rhs <= last_per_rhs * (1.0 + 1e-12),
+                "per-RHS time rose at k={k}: {per_rhs} vs {last_per_rhs}"
+            );
+            last_per_rhs = per_rhs;
+        }
+    }
+
+    #[test]
+    fn spmm_mb_roof_rises_with_k_toward_peak() {
+        // Well beyond KNC's aggregate cache at every k, so the bandwidth
+        // figure is fixed and only the reuse factor moves the roof.
+        let csr = CsrMatrix::from_coo(&g::banded(400_000, 12));
+        let knc = Platform::knc();
+        let prof = profile(&csr, &knc);
+        assert!(prof.working_set_bytes > knc.total_cache_bytes());
+        let mut last = 0.0;
+        for k in [1usize, 2, 4, 8, 16] {
+            // The Gflop/s roof equals flops-per-RHS over time-per-RHS, so
+            // "per-RHS time non-increasing" reads as a non-decreasing roof.
+            let roof = analytic_spmm_mb_bound(&prof, &knc, k);
+            assert!(
+                roof >= last,
+                "MB roof must rise with k: {roof} vs {last} at k={k}"
+            );
+            last = roof;
+            assert!(
+                analytic_spmm_peak_bound(&prof, &knc, k)
+                    >= analytic_spmm_mb_bound(&prof, &knc, k) - 1e-9
+            );
         }
     }
 

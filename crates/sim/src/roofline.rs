@@ -93,6 +93,24 @@ pub fn spmv_intensity(csr: &CsrMatrix) -> f64 {
     }
 }
 
+/// Operational intensity of CSR SpMM with `k` right-hand sides: the matrix
+/// footprint is streamed once and amortized over `2·NNZ·k` flops, while the
+/// dense vectors scale with `k`. `spmm_intensity(csr, 1)` equals
+/// [`spmv_intensity`], and the intensity grows monotonically with `k` —
+/// column blocking walks a matrix rightward along the roofline toward the
+/// ridge point, which is exactly why MB-bound matrices shift toward the
+/// compute-bound regime under multi-RHS traffic.
+pub fn spmm_intensity(csr: &CsrMatrix, k: usize) -> f64 {
+    assert!(k >= 1, "SpMM needs at least one right-hand side");
+    let flops = 2.0 * csr.nnz() as f64 * k as f64;
+    let bytes = (csr.footprint_bytes() + (csr.ncols() + csr.nrows()) * 8 * k) as f64;
+    if bytes == 0.0 {
+        0.0
+    } else {
+        flops / bytes
+    }
+}
+
 /// SpMV intensity if the indexing structures compressed away entirely
 /// (the `P_peak` accounting).
 pub fn spmv_intensity_values_only(csr: &CsrMatrix) -> f64 {

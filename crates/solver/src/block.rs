@@ -1,0 +1,606 @@
+//! Block-Krylov solvers over any [`SpmmKernel`]: block Conjugate Gradient
+//! (O'Leary 1980) and batched multi-RHS BiCGSTAB.
+//!
+//! These are the consumers that justify the SpMM layer: a solve with `k`
+//! right-hand sides calls the sparse operator on all `k` vectors at once, so
+//! the matrix stream — the dominant cost for MB-bound matrices — is paid
+//! once per iteration instead of `k` times. Block CG additionally shares one
+//! Krylov space across the right-hand sides: because the block space
+//! contains every column's individual space, it converges in at most as
+//! many iterations as the slowest single-vector solve (the iteration-budget
+//! regression in `tests/solver_kernels.rs` pins this down).
+
+use crate::precond::Preconditioner;
+use crate::SolverOptions;
+use sparseopt_core::kernels::SpmmKernel;
+use sparseopt_core::multivec::MultiVec;
+
+/// Result of a block (multi-RHS) solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockSolveOutcome {
+    /// True when every column met the tolerance.
+    pub converged: bool,
+    /// Iterations performed (shared across columns).
+    pub iterations: usize,
+    /// Largest per-column relative residual at exit.
+    pub max_relative_residual: f64,
+    /// Per-column relative residuals at exit.
+    pub column_residuals: Vec<f64>,
+    /// SpMM invocations — each one streams the matrix exactly once, the
+    /// quantity the amortization analysis counts.
+    pub spmm_calls: usize,
+    /// True when the method broke down numerically on any column.
+    pub breakdown: bool,
+}
+
+impl BlockSolveOutcome {
+    fn new(
+        converged: bool,
+        iterations: usize,
+        column_residuals: Vec<f64>,
+        spmm_calls: usize,
+        breakdown: bool,
+    ) -> Self {
+        let max_relative_residual = column_residuals.iter().copied().fold(0.0, f64::max);
+        Self {
+            converged,
+            iterations,
+            max_relative_residual,
+            column_residuals,
+            spmm_calls,
+            breakdown,
+        }
+    }
+}
+
+/// Per-column relative residuals `‖r_j‖ / ‖b_j‖`.
+fn relative_residuals(r: &MultiVec, bnorms: &[f64]) -> Vec<f64> {
+    r.column_norms()
+        .iter()
+        .zip(bnorms)
+        .map(|(rn, bn)| rn / bn)
+        .collect()
+}
+
+/// Gram matrix `AᵀB` (`k × k`, row-major) of two `n × k` multi-vectors.
+fn gram(a: &MultiVec, b: &MultiVec) -> Vec<f64> {
+    let k = a.width();
+    let mut g = vec![0.0f64; k * k];
+    for i in 0..a.nrows() {
+        let ar = a.row(i);
+        let br = b.row(i);
+        for (p, &av) in ar.iter().enumerate() {
+            for (q, &bv) in br.iter().enumerate() {
+                g[p * k + q] += av * bv;
+            }
+        }
+    }
+    g
+}
+
+/// Solves the `k × k` system `G · M = Rhs` in place by Gauss–Jordan with
+/// partial pivoting; `rhs` holds `M` on success. Returns `false` when `G` is
+/// numerically singular (block breakdown).
+fn solve_small(k: usize, g: &mut [f64], rhs: &mut [f64]) -> bool {
+    let scale = g.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if scale == 0.0 {
+        return false;
+    }
+    for col in 0..k {
+        let mut piv = col;
+        for row in col + 1..k {
+            if g[row * k + col].abs() > g[piv * k + col].abs() {
+                piv = row;
+            }
+        }
+        let p = g[piv * k + col];
+        if p.abs() < 1e-300 || p.abs() < 1e-14 * scale {
+            return false;
+        }
+        if piv != col {
+            for q in 0..k {
+                g.swap(col * k + q, piv * k + q);
+                rhs.swap(col * k + q, piv * k + q);
+            }
+        }
+        let d = g[col * k + col];
+        for q in 0..k {
+            g[col * k + q] /= d;
+            rhs[col * k + q] /= d;
+        }
+        for row in 0..k {
+            if row == col {
+                continue;
+            }
+            let f = g[row * k + col];
+            if f == 0.0 {
+                continue;
+            }
+            for q in 0..k {
+                g[row * k + q] -= f * g[col * k + q];
+                rhs[row * k + q] -= f * rhs[col * k + q];
+            }
+        }
+    }
+    true
+}
+
+/// `Y ← Y + sign · P·M` for a `k × k` row-major `M` (row-wise 1×k by k×k
+/// products, so the update streams both multi-vectors once).
+fn add_product(y: &mut MultiVec, p: &MultiVec, m: &[f64], sign: f64) {
+    let k = y.width();
+    for i in 0..y.nrows() {
+        let pr = p.row(i);
+        let yr = y.row_mut(i);
+        for (q, yv) in yr.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (pi, &pv) in pr.iter().enumerate() {
+                s += pv * m[pi * k + q];
+            }
+            *yv += sign * s;
+        }
+    }
+}
+
+/// `P ← Z + P·B` (the block CG direction update).
+fn direction_update(p: &mut MultiVec, z: &MultiVec, beta: &[f64]) {
+    let k = p.width();
+    let mut tmp = vec![0.0f64; k];
+    for i in 0..p.nrows() {
+        let zr = z.row(i);
+        let pr = p.row_mut(i);
+        for (q, t) in tmp.iter_mut().enumerate() {
+            let mut s = zr[q];
+            for (pi, &pv) in pr.iter().enumerate() {
+                s += pv * beta[pi * k + q];
+            }
+            *t = s;
+        }
+        pr.copy_from_slice(&tmp);
+    }
+}
+
+/// Solves `A X = B` for symmetric positive definite `A` via preconditioned
+/// block Conjugate Gradient (O'Leary). `x` holds the initial guess on entry
+/// and the solution on exit; every iteration costs exactly one SpMM.
+///
+/// Converges when **every** column satisfies `‖r_j‖ / ‖b_j‖ ≤ opts.tol`.
+/// Breakdown (rank-deficient direction block, e.g. two identical columns of
+/// `B`) is reported rather than repaired — callers wanting deflation should
+/// perturb or drop dependent right-hand sides.
+///
+/// # Panics
+/// Panics if the operator is not square or block shapes disagree.
+pub fn block_cg(
+    a: &dyn SpmmKernel,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    precond: &dyn Preconditioner,
+    opts: &SolverOptions,
+) -> BlockSolveOutcome {
+    let (nrows, ncols) = a.shape();
+    assert_eq!(nrows, ncols, "block CG needs a square operator");
+    assert_eq!(b.nrows(), nrows, "b row count mismatch");
+    assert_eq!(x.nrows(), nrows, "x row count mismatch");
+    assert_eq!(b.width(), x.width(), "b/x width mismatch");
+    let k = b.width();
+
+    let bnorms: Vec<f64> = b
+        .column_norms()
+        .iter()
+        .map(|&n| n.max(f64::MIN_POSITIVE))
+        .collect();
+
+    // R = B − A·X.
+    let mut r = b.clone();
+    let mut q = MultiVec::zeros(nrows, k);
+    a.spmm(x, &mut q);
+    for (rv, &qv) in r.as_mut_slice().iter_mut().zip(q.as_slice()) {
+        *rv -= qv;
+    }
+    let mut spmm_calls = 1usize;
+
+    let mut z = MultiVec::zeros(nrows, k);
+    precond.apply_multi(&r, &mut z);
+    let mut p = z.clone();
+    // S = RᵀZ (symmetric for an SPD preconditioner).
+    let mut s = gram(&r, &z);
+
+    for iter in 0..opts.max_iters {
+        let rels = relative_residuals(&r, &bnorms);
+        if rels.iter().all(|&rel| rel <= opts.tol) {
+            return BlockSolveOutcome::new(true, iter, rels, spmm_calls, false);
+        }
+
+        // Q = A·P — the one matrix stream of the iteration.
+        a.spmm(&p, &mut q);
+        spmm_calls += 1;
+
+        // α = (PᵀQ)⁻¹ S.
+        let mut pq = gram(&p, &q);
+        let mut alpha = s.clone();
+        if !solve_small(k, &mut pq, &mut alpha) {
+            return BlockSolveOutcome::new(false, iter, rels, spmm_calls, true);
+        }
+
+        add_product(x, &p, &alpha, 1.0); // X += P α
+        add_product(&mut r, &q, &alpha, -1.0); // R −= Q α
+
+        precond.apply_multi(&r, &mut z);
+        let s_next = gram(&r, &z);
+
+        // β = S⁻¹ S_next.
+        let mut s_copy = s.clone();
+        let mut beta = s_next.clone();
+        if !solve_small(k, &mut s_copy, &mut beta) {
+            return BlockSolveOutcome::new(false, iter, rels, spmm_calls, true);
+        }
+        direction_update(&mut p, &z, &beta); // P = Z + P β
+        s = s_next;
+    }
+    let rels = relative_residuals(&r, &bnorms);
+    let done = rels.iter().all(|&rel| rel <= opts.tol);
+    BlockSolveOutcome::new(done, opts.max_iters, rels, spmm_calls, false)
+}
+
+/// Per-column solver state of the batched BiCGSTAB driver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ColumnState {
+    Active,
+    Converged,
+    Broken,
+}
+
+/// Strided dot product of column `j` of two multi-vectors.
+fn col_dot(a: &MultiVec, b: &MultiVec, j: usize) -> f64 {
+    let k = a.width();
+    a.as_slice()
+        .iter()
+        .skip(j)
+        .step_by(k)
+        .zip(b.as_slice().iter().skip(j).step_by(k))
+        .map(|(&x, &y)| x * y)
+        .sum()
+}
+
+/// Euclidean norm of column `j`.
+fn col_norm(a: &MultiVec, j: usize) -> f64 {
+    col_dot(a, a, j).sqrt()
+}
+
+/// Solves `A X = B` for general (nonsymmetric) `A` by running one BiCGSTAB
+/// recurrence per column with **batched** operator applications: each
+/// iteration performs exactly two SpMM calls covering all still-active
+/// columns, so the matrix stream is shared even though the per-column
+/// scalars (`ρ`, `α`, `ω`) evolve independently. Columns that converge or
+/// break down are frozen; the iteration ends when none remain active.
+///
+/// # Panics
+/// Panics if the operator is not square or block shapes disagree.
+pub fn bicgstab_multi(
+    a: &dyn SpmmKernel,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    precond: &dyn Preconditioner,
+    opts: &SolverOptions,
+) -> BlockSolveOutcome {
+    let (nrows, ncols) = a.shape();
+    assert_eq!(nrows, ncols, "BiCGSTAB needs a square operator");
+    assert_eq!(b.nrows(), nrows, "b row count mismatch");
+    assert_eq!(x.nrows(), nrows, "x row count mismatch");
+    assert_eq!(b.width(), x.width(), "b/x width mismatch");
+    let k = b.width();
+
+    let bnorms: Vec<f64> = b
+        .column_norms()
+        .iter()
+        .map(|&n| n.max(f64::MIN_POSITIVE))
+        .collect();
+
+    let mut r = b.clone();
+    let mut tmp = MultiVec::zeros(nrows, k);
+    a.spmm(x, &mut tmp);
+    for (rv, &tv) in r.as_mut_slice().iter_mut().zip(tmp.as_slice()) {
+        *rv -= tv;
+    }
+    let r0 = r.clone(); // shadow residual block
+    let mut spmm_calls = 1usize;
+
+    let mut rho = vec![1.0f64; k];
+    let mut alpha = vec![1.0f64; k];
+    let mut omega = vec![1.0f64; k];
+    let mut state = vec![ColumnState::Active; k];
+
+    let mut v = MultiVec::zeros(nrows, k);
+    let mut p = MultiVec::zeros(nrows, k);
+    let mut phat = MultiVec::zeros(nrows, k);
+    let mut shat = MultiVec::zeros(nrows, k);
+    let mut t = MultiVec::zeros(nrows, k);
+
+    let mut iterations = 0usize;
+    for iter in 0..opts.max_iters {
+        for j in 0..k {
+            if state[j] == ColumnState::Active && col_norm(&r, j) / bnorms[j] <= opts.tol {
+                state[j] = ColumnState::Converged;
+            }
+        }
+        if state.iter().all(|&s| s != ColumnState::Active) {
+            iterations = iter;
+            break;
+        }
+        iterations = iter + 1;
+
+        for j in 0..k {
+            if state[j] != ColumnState::Active {
+                continue;
+            }
+            let rho_next = col_dot(&r0, &r, j);
+            if rho_next.abs() < 1e-300 {
+                state[j] = ColumnState::Broken;
+                continue;
+            }
+            let beta = (rho_next / rho[j]) * (alpha[j] / omega[j]);
+            rho[j] = rho_next;
+            // p_j = r_j + β (p_j − ω_j v_j), strided over column j.
+            for i in 0..nrows {
+                let pv = p.row(i)[j];
+                let vv = v.row(i)[j];
+                let rv = r.row(i)[j];
+                p.row_mut(i)[j] = rv + beta * (pv - omega[j] * vv);
+            }
+        }
+
+        precond.apply_multi(&p, &mut phat);
+        a.spmm(&phat, &mut v); // V = A·P̂, batched
+        spmm_calls += 1;
+
+        // Columns that pass the s-shortcut this round skip the second half.
+        let mut halfway_done = vec![false; k];
+        for j in 0..k {
+            if state[j] != ColumnState::Active {
+                continue;
+            }
+            let r0v = col_dot(&r0, &v, j);
+            if r0v.abs() < 1e-300 {
+                state[j] = ColumnState::Broken;
+                continue;
+            }
+            alpha[j] = rho[j] / r0v;
+            // s_j = r_j − α_j v_j (reuse r as s).
+            for i in 0..nrows {
+                let vv = v.row(i)[j];
+                r.row_mut(i)[j] -= alpha[j] * vv;
+            }
+            if col_norm(&r, j) / bnorms[j] <= opts.tol {
+                for i in 0..nrows {
+                    let pv = phat.row(i)[j];
+                    x.row_mut(i)[j] += alpha[j] * pv;
+                }
+                state[j] = ColumnState::Converged;
+                halfway_done[j] = true;
+            }
+        }
+
+        // Skip the second operator application when the s-shortcut (or a
+        // breakdown) retired every remaining column this round.
+        if !state
+            .iter()
+            .zip(&halfway_done)
+            .any(|(&s, &h)| s == ColumnState::Active && !h)
+        {
+            continue;
+        }
+        precond.apply_multi(&r, &mut shat);
+        a.spmm(&shat, &mut t); // T = A·Ŝ, batched
+        spmm_calls += 1;
+
+        for j in 0..k {
+            if state[j] != ColumnState::Active || halfway_done[j] {
+                continue;
+            }
+            let tt = col_dot(&t, &t, j);
+            if tt.abs() < 1e-300 {
+                state[j] = ColumnState::Broken;
+                continue;
+            }
+            omega[j] = col_dot(&t, &r, j) / tt;
+            // x_j += α_j p̂_j + ω_j ŝ_j ; r_j = s_j − ω_j t_j.
+            for i in 0..nrows {
+                let pv = phat.row(i)[j];
+                let sv = shat.row(i)[j];
+                x.row_mut(i)[j] += alpha[j] * pv + omega[j] * sv;
+            }
+            for i in 0..nrows {
+                let tv = t.row(i)[j];
+                r.row_mut(i)[j] -= omega[j] * tv;
+            }
+            if omega[j].abs() < 1e-300 {
+                state[j] = ColumnState::Broken;
+            }
+        }
+    }
+
+    let rels = relative_residuals(&r, &bnorms);
+    let converged = state.iter().all(|&s| s == ColumnState::Converged);
+    let breakdown = state.contains(&ColumnState::Broken);
+    BlockSolveOutcome::new(converged, iterations, rels, spmm_calls, breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg;
+    use crate::precond::{IdentityPrecond, JacobiPrecond};
+    use sparseopt_core::prelude::*;
+    use sparseopt_matrix::generators as g;
+    use std::sync::Arc;
+
+    fn poisson(nx: usize, ny: usize) -> Arc<CsrMatrix> {
+        Arc::new(CsrMatrix::from_coo(&g::poisson2d(nx, ny)))
+    }
+
+    fn rhs_block(n: usize, k: usize) -> MultiVec {
+        MultiVec::from_fn(n, k, |i, j| {
+            ((i * 31 + j * 17 + 7) % 23) as f64 / 11.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn solve_small_matches_hand_inverse() {
+        // G = [[2, 0], [1, 1]], Rhs = I ⇒ M = G⁻¹ = [[0.5, 0], [-0.5, 1]].
+        let mut grm = vec![2.0, 0.0, 1.0, 1.0];
+        let mut rhs = vec![1.0, 0.0, 0.0, 1.0];
+        assert!(solve_small(2, &mut grm, &mut rhs));
+        let want = [0.5, 0.0, -0.5, 1.0];
+        for (a, b) in rhs.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-14, "{rhs:?}");
+        }
+    }
+
+    #[test]
+    fn solve_small_detects_singularity() {
+        let mut grm = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
+        let mut rhs = vec![1.0, 0.0, 0.0, 1.0];
+        assert!(!solve_small(2, &mut grm, &mut rhs));
+    }
+
+    #[test]
+    fn block_cg_solves_spd_system() {
+        let a = poisson(16, 16);
+        let n = a.nrows();
+        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(2));
+        let b = rhs_block(n, 4);
+        let mut x = MultiVec::zeros(n, 4);
+        let out = block_cg(
+            &kernel,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &SolverOptions {
+                tol: 1e-9,
+                max_iters: 500,
+            },
+        );
+        assert!(out.converged, "{out:?}");
+        assert!(!out.breakdown);
+        // True residual check per column.
+        let mut ax = MultiVec::zeros(n, 4);
+        kernel.spmm(&x, &mut ax);
+        for j in 0..4 {
+            let res: f64 = (0..n)
+                .map(|i| (b.row(i)[j] - ax.row(i)[j]).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(res < 1e-6, "column {j} true residual {res}");
+        }
+    }
+
+    #[test]
+    fn block_cg_matches_sequential_cg() {
+        let a = poisson(12, 12);
+        let n = a.nrows();
+        let ctx = ExecCtx::new(2);
+        let spmm = CsrSpmm::baseline(a.clone(), ctx.clone());
+        let spmv = SerialCsr::new(a.clone());
+        let opts = SolverOptions {
+            tol: 1e-10,
+            max_iters: 1000,
+        };
+        let b = rhs_block(n, 3);
+        let mut xb = MultiVec::zeros(n, 3);
+        let out = block_cg(&spmm, &b, &mut xb, &JacobiPrecond::new(&a), &opts);
+        assert!(out.converged, "{out:?}");
+
+        for j in 0..3 {
+            let bj = b.column(j);
+            let mut xj = vec![0.0; n];
+            let single = cg(&spmv, &bj, &mut xj, &JacobiPrecond::new(&a), &opts);
+            assert!(single.converged);
+            for (p, q) in xb.column(j).iter().zip(&xj) {
+                assert!((p - q).abs() < 1e-6, "column {j}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_cg_reports_breakdown_on_duplicate_rhs() {
+        // Two identical columns make the direction block rank-deficient.
+        let a = poisson(8, 8);
+        let n = a.nrows();
+        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(1));
+        let col: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = MultiVec::from_columns(&[col.clone(), col]);
+        let mut x = MultiVec::zeros(n, 2);
+        let out = block_cg(
+            &kernel,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &SolverOptions {
+                tol: 1e-12,
+                max_iters: 200,
+            },
+        );
+        assert!(out.breakdown, "{out:?}");
+    }
+
+    #[test]
+    fn bicgstab_multi_solves_nonsymmetric_block() {
+        let n = 300;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.5);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.5);
+            }
+        }
+        let a = Arc::new(CsrMatrix::from_coo(&coo));
+        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(2));
+        let b = rhs_block(n, 5);
+        let mut x = MultiVec::zeros(n, 5);
+        let out = bicgstab_multi(
+            &kernel,
+            &b,
+            &mut x,
+            &JacobiPrecond::new(&a),
+            &SolverOptions {
+                tol: 1e-10,
+                max_iters: 400,
+            },
+        );
+        assert!(out.converged, "{out:?}");
+        let mut ax = MultiVec::zeros(n, 5);
+        kernel.spmm(&x, &mut ax);
+        for j in 0..5 {
+            let res: f64 = (0..n)
+                .map(|i| (b.row(i)[j] - ax.row(i)[j]).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(res < 1e-7, "column {j} true residual {res}");
+        }
+    }
+
+    #[test]
+    fn bicgstab_multi_uses_two_spmm_per_iteration() {
+        let a = poisson(10, 10);
+        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(1));
+        let n = a.nrows();
+        let b = rhs_block(n, 3);
+        let mut x = MultiVec::zeros(n, 3);
+        let out = bicgstab_multi(
+            &kernel,
+            &b,
+            &mut x,
+            &IdentityPrecond,
+            &SolverOptions {
+                tol: 1e-8,
+                max_iters: 300,
+            },
+        );
+        assert!(out.converged, "{out:?}");
+        assert!(out.spmm_calls <= 2 * out.iterations + 1, "{out:?}");
+    }
+}

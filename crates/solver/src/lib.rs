@@ -5,21 +5,48 @@
 //! Jacobi preconditioners. These are the SpMV consumers the paper's
 //! amortization analysis (Table V) is framed around — "iterative methods for
 //! the solution of large sparse linear systems ... repeatedly call SpMV".
+//!
+//! The [`block`] module extends the same consumers to the multiple
+//! right-hand-side workload over any
+//! [`sparseopt_core::kernels::SpmmKernel`]: block CG shares one Krylov space
+//! across `k` right-hand sides and batched BiCGSTAB shares the matrix
+//! stream, so each iteration pays for the matrix bytes once instead of `k`
+//! times.
 
 pub mod bicgstab;
 pub mod blas;
+pub mod block;
 pub mod cg;
 pub mod eigen;
 pub mod gmres;
 pub mod precond;
 
 pub use bicgstab::bicgstab;
+pub use block::{bicgstab_multi, block_cg, BlockSolveOutcome};
 pub use cg::cg;
 pub use eigen::{power_method, spd_condition_estimate, EigenOutcome};
 pub use gmres::gmres;
 pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
 
 /// Iteration controls shared by all solvers.
+///
+/// ```
+/// use sparseopt_solver::{cg, IdentityPrecond, SolverOptions};
+/// use sparseopt_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let a = Arc::new(CsrMatrix::from_coo(
+///     &sparseopt_matrix::generators::poisson2d(8, 8),
+/// ));
+/// let kernel = SerialCsr::new(a.clone());
+/// let b = vec![1.0; a.nrows()];
+/// let mut x = vec![0.0; a.nrows()];
+///
+/// let opts = SolverOptions { tol: 1e-8, max_iters: 500 };
+/// let out = cg(&kernel, &b, &mut x, &IdentityPrecond, &opts);
+/// assert!(out.converged);
+/// assert!(out.relative_residual <= opts.tol);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolverOptions {
     /// Relative residual tolerance `‖r‖ / ‖b‖`.

@@ -4,11 +4,27 @@
 //! preconditioner here.
 
 use sparseopt_core::csr::CsrMatrix;
+use sparseopt_core::multivec::MultiVec;
 
 /// A left preconditioner `M⁻¹` applied as `z = M⁻¹ r`.
 pub trait Preconditioner: Send + Sync {
     /// Applies `z ← M⁻¹ r`.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Applies `Z ← M⁻¹ R` column by column — the block-Krylov drivers'
+    /// entry point. The default gathers each column, applies [`Self::apply`],
+    /// and scatters the result; implementations with row-local structure
+    /// (e.g. Jacobi) may override with a single strided pass.
+    fn apply_multi(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.nrows(), z.nrows(), "row count mismatch");
+        assert_eq!(r.width(), z.width(), "width mismatch");
+        let mut zc = vec![0.0; r.nrows()];
+        for j in 0..r.width() {
+            let rc = r.column(j);
+            self.apply(&rc, &mut zc);
+            z.set_column(j, &zc);
+        }
+    }
 
     /// Display name.
     fn name(&self) -> &'static str;
@@ -56,6 +72,19 @@ impl Preconditioner for JacobiPrecond {
         assert_eq!(r.len(), self.inv_diag.len(), "dimension mismatch");
         for ((zi, &ri), &mi) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * mi;
+        }
+    }
+
+    fn apply_multi(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.nrows(), self.inv_diag.len(), "dimension mismatch");
+        assert_eq!(r.nrows(), z.nrows(), "row count mismatch");
+        assert_eq!(r.width(), z.width(), "width mismatch");
+        // Diagonal scaling is row-local: one unit-stride pass, no column
+        // gather/scatter.
+        for (i, &mi) in self.inv_diag.iter().enumerate() {
+            for (zv, &rv) in z.row_mut(i).iter_mut().zip(r.row(i)) {
+                *zv = rv * mi;
+            }
         }
     }
 

@@ -15,7 +15,7 @@
 //! | [`ml`] | `sparseopt-ml` | multilabel CART decision tree, metrics, cross-validation, grid search |
 //! | [`classifier`] | `sparseopt-classifier` | bottleneck classes, per-class bounds, profile-/feature-guided classifiers |
 //! | [`optimizer`] | `sparseopt-optimizer` | Table II optimization pool, adaptive/trivial/oracle optimizers, amortization |
-//! | [`solver`] | `sparseopt-solver` | CG, BiCGSTAB, GMRES(m), Jacobi preconditioning |
+//! | [`solver`] | `sparseopt-solver` | CG, BiCGSTAB, GMRES(m), block CG / batched BiCGSTAB over SpMM, Jacobi preconditioning |
 //!
 //! ## Quick start
 //!
@@ -60,6 +60,7 @@ pub mod prelude {
     };
     pub use sparseopt_sim::Platform;
     pub use sparseopt_solver::{
-        bicgstab, cg, gmres, IdentityPrecond, JacobiPrecond, SolveOutcome, SolverOptions,
+        bicgstab, bicgstab_multi, block_cg, cg, gmres, BlockSolveOutcome, IdentityPrecond,
+        JacobiPrecond, SolveOutcome, SolverOptions,
     };
 }

@@ -118,6 +118,123 @@ fn bicgstab_and_gmres_agree_on_every_kernel() {
     }
 }
 
+/// Every SpmmKernel implementation family over `a`, for the block solvers.
+fn spmm_zoo(a: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SpmmKernel>> {
+    let threshold = DecomposedCsrMatrix::auto_threshold(a, 4.0);
+    vec![
+        Box::new(CsrSpmm::baseline(a.clone(), ctx.clone())),
+        Box::new(DeltaSpmm::baseline(
+            Arc::new(DeltaCsrMatrix::from_csr(a)),
+            ctx.clone(),
+        )),
+        Box::new(BcsrSpmm::new(
+            Arc::new(BcsrMatrix::from_csr(a, 2, 2)),
+            ctx.clone(),
+        )),
+        Box::new(EllSpmm::new(Arc::new(EllMatrix::from_csr(a)), ctx.clone())),
+        Box::new(DecomposedSpmm::baseline(
+            Arc::new(DecomposedCsrMatrix::from_csr(a, threshold)),
+            ctx.clone(),
+        )),
+    ]
+}
+
+#[test]
+fn block_cg_matches_k_sequential_cg_runs() {
+    // The block-Krylov regression the SpMM layer exists for: block CG on a
+    // generated SPD system must reach the same per-column solutions as k
+    // sequential CG runs, within tolerance, on every SpmmKernel format.
+    let (a, _) = spd_system(20);
+    let n = a.nrows();
+    let k = 4usize;
+    let ctx = ExecCtx::new(2);
+    let opts = SolverOptions {
+        tol: 1e-9,
+        max_iters: 2000,
+    };
+    let b = MultiVec::from_fn(n, k, |i, j| ((i * 7 + j * 3) % 13) as f64 / 6.0 - 1.0);
+
+    // Reference: k sequential single-vector CG solves.
+    let spmv = SerialCsr::new(a.clone());
+    let mut reference: Vec<Vec<f64>> = Vec::new();
+    let mut max_single_iters = 0usize;
+    let mut total_single_streams = 0usize;
+    for j in 0..k {
+        let bj = b.column(j);
+        let mut xj = vec![0.0f64; n];
+        let out = cg(&spmv, &bj, &mut xj, &IdentityPrecond, &opts);
+        assert!(out.converged, "column {j}: {out:?}");
+        max_single_iters = max_single_iters.max(out.iterations);
+        total_single_streams += out.spmv_calls;
+        reference.push(xj);
+    }
+
+    for kernel in spmm_zoo(&a, &ctx) {
+        let mut x = MultiVec::zeros(n, k);
+        let out = block_cg(kernel.as_ref(), &b, &mut x, &IdentityPrecond, &opts);
+        assert!(out.converged, "{}: {out:?}", kernel.name());
+
+        // Iteration budget: the block Krylov space contains every column's
+        // individual space, so block CG cannot need more iterations than the
+        // slowest sequential solve (small slack for floating-point drift).
+        assert!(
+            out.iterations <= max_single_iters + 5,
+            "{}: block CG took {} iters vs worst single {}",
+            kernel.name(),
+            out.iterations,
+            max_single_iters
+        );
+        // And it must actually amortize: far fewer matrix streams than the
+        // k sequential solves combined.
+        assert!(
+            out.spmm_calls * 2 < total_single_streams,
+            "{}: {} spmm calls vs {} sequential spmv calls",
+            kernel.name(),
+            out.spmm_calls,
+            total_single_streams
+        );
+
+        for (j, xj) in reference.iter().enumerate() {
+            for (p, q) in x.column(j).iter().zip(xj) {
+                assert!(
+                    (p - q).abs() < 1e-6,
+                    "{} column {j}: {p} vs {q}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bicgstab_multi_matches_sequential_bicgstab() {
+    let (a, _) = nonsym_system(400);
+    let n = a.nrows();
+    let k = 3usize;
+    let ctx = ExecCtx::new(2);
+    let opts = SolverOptions {
+        tol: 1e-10,
+        max_iters: 2000,
+    };
+    let b = MultiVec::from_fn(n, k, |i, j| ((i + j * 5) % 9) as f64 / 4.0 - 1.0);
+
+    let spmv = SerialCsr::new(a.clone());
+    let kernel = CsrSpmm::baseline(a.clone(), ctx);
+    let mut x = MultiVec::zeros(n, k);
+    let out = bicgstab_multi(&kernel, &b, &mut x, &JacobiPrecond::new(&a), &opts);
+    assert!(out.converged, "{out:?}");
+
+    for j in 0..k {
+        let bj = b.column(j);
+        let mut xj = vec![0.0f64; n];
+        let single = bicgstab(&spmv, &bj, &mut xj, &JacobiPrecond::new(&a), &opts);
+        assert!(single.converged, "column {j}: {single:?}");
+        for (p, q) in x.column(j).iter().zip(&xj) {
+            assert!((p - q).abs() < 1e-5, "column {j}: {p} vs {q}");
+        }
+    }
+}
+
 #[test]
 fn solver_spmv_counts_feed_amortization() {
     // The Table V bridge: solver SpMV counts × per-call savings are exactly

@@ -10,11 +10,28 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// Test mode (`cargo bench -- --test`, matching real criterion): every
+/// benchmark routine runs exactly once, with no calibration or sampling, so
+/// CI can smoke-run the whole bench suite in seconds.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables test mode; called by `criterion_main!` when the
+/// harness arguments contain `--test`.
+pub fn set_test_mode(on: bool) {
+    TEST_MODE.store(on, Ordering::Relaxed);
+}
+
+/// True when benchmarks run in compile-and-run-once test mode.
+pub fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
 }
 
 /// Work-per-iteration metadata, used to report rates.
@@ -64,7 +81,14 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine`, collecting `samples` samples of batched iterations.
+    /// In [`test_mode`] the routine runs exactly once, untimed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            std_black_box(routine());
+            self.last.clear();
+            self.last.push(Duration::ZERO);
+            return;
+        }
         // Calibrate the per-sample batch so one sample takes ~1 ms and the
         // whole benchmark stays fast even for nanosecond routines.
         let mut batch = 1u64;
@@ -193,7 +217,11 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             // cargo bench passes harness flags like `--bench`; this simple
-            // harness runs everything and ignores filters.
+            // harness runs everything and ignores filters — except `--test`
+            // (cargo bench -- --test), which switches to run-once test mode.
+            if std::env::args().any(|a| a == "--test") {
+                $crate::set_test_mode(true);
+            }
             $( $group(); )+
         }
     };
@@ -202,6 +230,16 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn test_mode_runs_routine_exactly_once() {
+        set_test_mode(true);
+        let mut c = Criterion::default();
+        let mut hits = 0u64;
+        c.bench_function("once", |b| b.iter(|| hits += 1));
+        set_test_mode(false);
+        assert_eq!(hits, 1);
+    }
 
     #[test]
     fn bench_function_runs_and_reports() {
