@@ -10,6 +10,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> RUSTDOCFLAGS=-D warnings cargo doc --workspace --no-deps"
+# Docs tier: broken intra-doc links and malformed rustdoc are errors, so
+# the API reference (the operator-layer contract lives there) cannot rot.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 

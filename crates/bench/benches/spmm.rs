@@ -50,16 +50,16 @@ fn bench_spmm(c: &mut Criterion) {
             });
 
             let mut kernels: Vec<Box<dyn SpmmKernel>> = vec![
-                Box::new(CsrSpmm::baseline(csr.clone(), ctx.clone())),
-                Box::new(DeltaSpmm::baseline(
+                Box::new(ParallelCsr::baseline(csr.clone(), ctx.clone())),
+                Box::new(DeltaKernel::baseline(
                     Arc::new(DeltaCsrMatrix::from_csr(csr)),
                     ctx.clone(),
                 )),
-                Box::new(BcsrSpmm::new(
+                Box::new(BcsrKernel::new(
                     Arc::new(BcsrMatrix::from_csr(csr, 2, 2)),
                     ctx.clone(),
                 )),
-                Box::new(DecomposedSpmm::baseline(
+                Box::new(DecomposedKernel::baseline(
                     Arc::new(DecomposedCsrMatrix::from_csr(
                         csr,
                         DecomposedCsrMatrix::auto_threshold(csr, 4.0),
@@ -71,7 +71,7 @@ fn bench_spmm(c: &mut Criterion) {
             // mode); only bench it where the padding stays sane.
             let max_row = (0..csr.nrows()).map(|i| csr.row_nnz(i)).max().unwrap_or(0);
             if max_row * csr.nrows() <= 8 * csr.nnz() {
-                kernels.push(Box::new(EllSpmm::new(
+                kernels.push(Box::new(EllKernel::new(
                     Arc::new(EllMatrix::from_csr(csr)),
                     ctx.clone(),
                 )));

@@ -14,7 +14,7 @@ use sparseopt_optimizer::{
 };
 use std::time::Instant;
 
-fn time_gflops(k: &dyn SpmvKernel, reps: usize) -> f64 {
+fn time_gflops(k: &dyn SparseLinOp, reps: usize) -> f64 {
     let (nrows, ncols) = k.shape();
     let x = vec![1.0f64; ncols];
     let mut y = vec![0.0f64; nrows];
@@ -24,7 +24,7 @@ fn time_gflops(k: &dyn SpmvKernel, reps: usize) -> f64 {
         k.spmv(&x, &mut y);
     }
     std::hint::black_box(&y);
-    gflops(k.flops() * reps as f64, t0.elapsed().as_secs_f64())
+    gflops(k.flops(1) * reps as f64, t0.elapsed().as_secs_f64())
 }
 
 fn main() {

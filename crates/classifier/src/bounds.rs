@@ -186,10 +186,10 @@ impl HostBoundsProfiler {
         self
     }
 
-    /// Times `reps` warm SpMV calls of `kernel`, returning Gflop/s of the
-    /// mean run (the paper's "rate of the arithmetic means of the absolute
-    /// counts").
-    pub fn time_kernel(&self, kernel: &dyn SpmvKernel) -> f64 {
+    /// Times `reps` warm forward applications of `kernel`, returning
+    /// Gflop/s of the mean run (the paper's "rate of the arithmetic means
+    /// of the absolute counts").
+    pub fn time_kernel(&self, kernel: &dyn SparseLinOp) -> f64 {
         let (nrows, ncols) = kernel.shape();
         let x = vec![1.0f64; ncols];
         let mut y = vec![0.0f64; nrows];
@@ -200,7 +200,7 @@ impl HostBoundsProfiler {
         }
         let secs = t0.elapsed().as_secs_f64() / self.reps as f64;
         std::hint::black_box(&y);
-        gflops(kernel.flops(), secs)
+        gflops(kernel.flops(1), secs)
     }
 
     /// Per-thread median time of one additional baseline run, seconds.

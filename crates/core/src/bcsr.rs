@@ -205,7 +205,7 @@ impl BcsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::SpmvKernel;
+    use crate::kernels::SparseLinOp;
 
     fn block_diagonal(nblocks: usize, b: usize) -> CsrMatrix {
         let n = nblocks * b;

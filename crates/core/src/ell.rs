@@ -137,7 +137,7 @@ impl EllMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::SpmvKernel;
+    use crate::kernels::SparseLinOp;
 
     fn sample(lens: &[usize]) -> CsrMatrix {
         let n = lens.len();

@@ -1,13 +1,17 @@
-//! SpMV kernel over delta-compressed CSR (the MB optimization of Table II:
+//! Operator over delta-compressed CSR (the MB optimization of Table II:
 //! "column index compression through delta encoding + vectorization").
 //!
 //! Vectorization composes with compression by decoding a block of column
 //! indices into a small stack buffer and running the SIMD/unrolled dot
-//! product over the decoded block.
+//! product over the decoded block. The multi-vector and transposed paths
+//! decode each row into a reusable thread-local buffer and then run the
+//! shared row pass / scatter machinery over the decoded indices.
 
-use super::rowprim::{row_dot, InnerLoop};
-use super::{check_operands, SpmvKernel};
+use super::rowprim::{row_dot, row_spmm_write, InnerLoop};
+use super::transpose::{scatter_row, TransposePlan};
+use super::{check_apply_multi_operands, check_apply_operands, Apply, SparseLinOp};
 use crate::delta::DeltaCsrMatrix;
+use crate::multivec::MultiVec;
 use crate::pool::ExecCtx;
 use crate::schedule::{ResolvedSchedule, Schedule};
 use crate::util::SendMutPtr;
@@ -18,22 +22,23 @@ use std::time::Duration;
 const DECODE_BLOCK: usize = 64;
 
 std::thread_local! {
-    /// Reusable per-thread column decode buffer — the vectorized path must
+    /// Reusable per-thread column decode buffer — the decoded paths must
     /// not allocate per row.
     static DECODE_BUF: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
-/// Parallel SpMV kernel over [`DeltaCsrMatrix`].
+/// Parallel operator over [`DeltaCsrMatrix`].
 pub struct DeltaKernel {
     matrix: Arc<DeltaCsrMatrix>,
     ctx: Arc<ExecCtx>,
     resolved: ResolvedSchedule,
     inner: InnerLoop,
     prefetch: bool,
+    tplan: TransposePlan,
 }
 
 impl DeltaKernel {
-    /// Builds the kernel. `inner` selects the post-decode dot product;
+    /// Builds the operator. `inner` selects the post-decode dot product;
     /// `Scalar` multiplies while decoding (no buffer).
     pub fn new(
         matrix: Arc<DeltaCsrMatrix>,
@@ -46,13 +51,20 @@ impl DeltaKernel {
         // rowptr, which the delta format preserves verbatim.
         let resolved =
             schedule.resolve_with_rowptr(matrix.nrows(), matrix.rowptr(), ctx.nthreads());
+        let tplan = TransposePlan::by_rowptr(matrix.rowptr(), matrix.ncols(), ctx.nthreads());
         Self {
             matrix,
             ctx,
             resolved,
             inner: inner.resolve_for_host(),
             prefetch,
+            tplan,
         }
+    }
+
+    /// Baseline configuration: scalar loop, nnz-balanced static schedule.
+    pub fn baseline(matrix: Arc<DeltaCsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        Self::new(matrix, InnerLoop::Scalar, false, Schedule::StaticNnz, ctx)
     }
 
     /// The paper's MB configuration: compression + vectorization, baseline
@@ -90,7 +102,7 @@ impl DeltaKernel {
     }
 }
 
-impl SpmvKernel for DeltaKernel {
+impl SparseLinOp for DeltaKernel {
     fn name(&self) -> String {
         let w = match self.matrix.width() {
             crate::delta::DeltaWidth::U8 => "d8",
@@ -108,21 +120,51 @@ impl SpmvKernel for DeltaKernel {
         self.matrix.nnz()
     }
 
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+    fn apply(&self, op: Apply, x: &[f64], y: &mut [f64]) {
         let m = &self.matrix;
-        check_operands(m.nrows(), m.ncols(), x, y);
-        let yp = SendMutPtr::new(y);
-        self.resolved.execute(&self.ctx, m.nrows(), |rows| {
-            for i in rows {
-                let v = if matches!(self.inner, InnerLoop::Scalar) {
-                    m.row_dot(i, x)
-                } else {
-                    self.row_dot_blocked(i, x)
-                };
-                // SAFETY: schedule guarantees row-disjoint writes.
-                unsafe { yp.write(i, v) };
+        check_apply_operands(self.shape(), op, x, y);
+        match op {
+            Apply::NoTrans => {
+                let yp = SendMutPtr::new(y);
+                self.resolved.execute(&self.ctx, m.nrows(), |rows| {
+                    for i in rows {
+                        let v = if matches!(self.inner, InnerLoop::Scalar) {
+                            m.row_dot(i, x)
+                        } else {
+                            self.row_dot_blocked(i, x)
+                        };
+                        // SAFETY: schedule guarantees row-disjoint writes.
+                        unsafe { yp.write(i, v) };
+                    }
+                });
             }
-        });
+            Apply::Trans => self.transpose_flat(x, 1, y),
+        }
+    }
+
+    fn apply_multi(&self, op: Apply, x: &MultiVec, y: &mut MultiVec) {
+        let m = &self.matrix;
+        check_apply_multi_operands(self.shape(), op, x, y);
+        let k = x.width();
+        let xs = x.as_slice();
+        match op {
+            Apply::NoTrans => {
+                let yp = SendMutPtr::new(y.as_mut_slice());
+                self.resolved.execute(&self.ctx, m.nrows(), |rows| {
+                    DECODE_BUF.with(|buf| {
+                        let mut decoded = buf.borrow_mut();
+                        for i in rows.clone() {
+                            decoded.clear();
+                            m.decode_row_into(i, &mut decoded);
+                            let vals = &m.values()[m.rowptr()[i]..m.rowptr()[i + 1]];
+                            // SAFETY: row-disjoint writes per the schedule.
+                            unsafe { row_spmm_write(i, &decoded, vals, xs, k, &yp) };
+                        }
+                    });
+                });
+            }
+            Apply::Trans => self.transpose_flat(xs, k, y.as_mut_slice()),
+        }
     }
 
     fn last_thread_times(&self) -> Vec<Duration> {
@@ -131,6 +173,25 @@ impl SpmvKernel for DeltaKernel {
 
     fn footprint_bytes(&self) -> usize {
         self.matrix.footprint_bytes()
+    }
+}
+
+impl DeltaKernel {
+    /// Shared transposed path: decode each row, scatter into the
+    /// thread-private scratch, merge (see [`TransposePlan`]).
+    fn transpose_flat(&self, xs: &[f64], k: usize, y: &mut [f64]) {
+        let m = &self.matrix;
+        self.tplan.execute(&self.ctx, k, y, |rows, scratch| {
+            DECODE_BUF.with(|buf| {
+                let mut decoded = buf.borrow_mut();
+                for i in rows {
+                    decoded.clear();
+                    m.decode_row_into(i, &mut decoded);
+                    let vals = &m.values()[m.rowptr()[i]..m.rowptr()[i + 1]];
+                    scatter_row(&decoded, vals, &xs[i * k..(i + 1) * k], k, scratch);
+                }
+            });
+        });
     }
 }
 
@@ -170,6 +231,25 @@ mod tests {
                     assert!((a - b).abs() < 1e-10, "row {i} for {}", k.name());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn transpose_matches_serial_reference() {
+        let csr = banded(200, 3);
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut want = vec![0.0; 200];
+        SerialCsr::new(csr.clone()).apply(Apply::Trans, &x, &mut want);
+
+        let delta = Arc::new(DeltaCsrMatrix::from_csr(&csr));
+        let k = DeltaKernel::baseline(delta, ExecCtx::new(3));
+        let mut y = vec![f64::NAN; 200];
+        k.apply(Apply::Trans, &x, &mut y);
+        for (i, (a, b)) in y.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10 * (1.0 + b.abs()),
+                "row {i}: {a} vs {b}"
+            );
         }
     }
 

@@ -10,8 +10,9 @@
 //!   indirect memory references ... we no longer use colind to index vector
 //!   x, but always access x[i]" — [`UnitStrideCsr`].
 
-use super::{check_operands, SpmvKernel};
+use super::{check_apply_operands, Apply, OpCapabilities, SparseLinOp};
 use crate::csr::CsrMatrix;
+use crate::multivec::MultiVec;
 use crate::pool::ExecCtx;
 use crate::schedule::{ResolvedSchedule, Schedule};
 use crate::util::SendMutPtr;
@@ -58,7 +59,7 @@ impl UnitStrideCsr {
     }
 }
 
-impl SpmvKernel for UnitStrideCsr {
+impl SparseLinOp for UnitStrideCsr {
     fn name(&self) -> String {
         "csr-unit-stride(microbench)".into()
     }
@@ -71,9 +72,20 @@ impl SpmvKernel for UnitStrideCsr {
         self.matrix.nnz()
     }
 
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+    /// Forward single-vector only: this kernel exists to time the compute
+    /// roof, not to implement the operator algebra.
+    fn capabilities(&self) -> OpCapabilities {
+        OpCapabilities::spmv_only()
+    }
+
+    fn apply(&self, op: Apply, x: &[f64], y: &mut [f64]) {
+        assert_eq!(
+            op,
+            Apply::NoTrans,
+            "UnitStrideCsr is a forward-only micro-benchmark (see capabilities)"
+        );
         let m = &self.matrix;
-        check_operands(m.nrows(), m.ncols(), x, y);
+        check_apply_operands(self.shape(), op, x, y);
         let yp = SendMutPtr::new(y);
         let ncols = m.ncols();
         self.resolved.execute(&self.ctx, m.nrows(), |rows| {
@@ -87,6 +99,10 @@ impl SpmvKernel for UnitStrideCsr {
                 unsafe { yp.write(i, sum) };
             }
         });
+    }
+
+    fn apply_multi(&self, _op: Apply, _x: &MultiVec, _y: &mut MultiVec) {
+        panic!("UnitStrideCsr is a single-vector micro-benchmark (see capabilities)");
     }
 
     fn last_thread_times(&self) -> Vec<Duration> {

@@ -1,112 +1,49 @@
-//! SpMV kernels: the baseline CSR kernel (paper Fig. 2), its optimized
-//! variants (Table II), and the micro-benchmark kernels used by the per-class
+//! Sparse operator kernels: the baseline CSR kernel (paper Fig. 2), its
+//! optimized variants (Table II), the other storage formats' operators
+//! (BCSR, ELL), and the micro-benchmark kernels used by the per-class
 //! performance bounds (Section III-B).
 //!
-//! Kernels are built once per matrix (paying any preprocessing cost up
-//! front, which the amortization analysis of Table V charges) and then invoked
-//! repeatedly via [`SpmvKernel::spmv`].
+//! Since the operator-layer unification there is **one operator type per
+//! format**, each implementing the format-erased [`SparseLinOp`] trait over
+//! the full `{NoTrans, Trans} × {vector, multi-vector}` application space.
+//! Operators are built once per matrix (paying any preprocessing cost up
+//! front, which the amortization analysis of Table V charges) and then
+//! applied repeatedly via [`SparseLinOp::apply`] / [`SparseLinOp::apply_multi`]
+//! or the [`SparseLinOp::spmv`] / [`SparseLinOp::spmm`] conveniences.
+//!
+//! [`SpmvKernel`] and [`SpmmKernel`] survive only as thin shims over
+//! [`SparseLinOp`] so historical signatures keep compiling; new code should
+//! name `SparseLinOp` directly.
 
 mod csr;
 mod decomposed;
 mod delta;
+mod linop;
 mod microbench;
 mod rowprim;
-mod spmm;
+mod slab;
+pub(crate) mod transpose;
 
 pub use csr::{CsrKernelConfig, ParallelCsr, SerialCsr};
 pub use decomposed::DecomposedKernel;
 pub use delta::DeltaKernel;
+pub(crate) use linop::{check_apply_multi_operands, check_apply_operands};
+pub use linop::{Apply, OpCapabilities, SparseLinOp};
 pub use microbench::{regularize_colind, UnitStrideCsr};
-pub use rowprim::{row_dot, InnerLoop};
-pub use spmm::{BcsrSpmm, CsrSpmm, DecomposedSpmm, DeltaSpmm, EllSpmm, SPMM_COL_TILE};
+pub use rowprim::{row_dot, InnerLoop, SPMM_COL_TILE};
+pub use slab::{BcsrKernel, EllKernel};
 
-use crate::multivec::MultiVec;
-use std::time::Duration;
+/// Thin compatibility shim: the historical single-vector view of an
+/// operator. Blanket-implemented for every [`SparseLinOp`], so
+/// `Box<dyn SpmvKernel>` / `&dyn SpmvKernel` signatures keep working and
+/// upcast freely to the unified trait.
+pub trait SpmvKernel: SparseLinOp {}
+impl<T: SparseLinOp + ?Sized> SpmvKernel for T {}
 
-/// A reusable `y = A·x` kernel.
-pub trait SpmvKernel: Send + Sync {
-    /// Human-readable kernel identifier, e.g. `csr-parallel[simd+prefetch]`.
-    fn name(&self) -> String;
-
-    /// `(nrows, ncols)` of the operator.
-    fn shape(&self) -> (usize, usize);
-
-    /// Number of stored nonzeros.
-    fn nnz(&self) -> usize;
-
-    /// Computes `y = A·x`.
-    ///
-    /// # Panics
-    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
-    fn spmv(&self, x: &[f64], y: &mut [f64]);
-
-    /// Per-thread wall times of the most recent `spmv` call, if the kernel
-    /// tracks them (parallel kernels do; serial kernels return one entry).
-    fn last_thread_times(&self) -> Vec<Duration> {
-        Vec::new()
-    }
-
-    /// Bytes of matrix data the kernel streams per multiplication.
-    fn footprint_bytes(&self) -> usize;
-
-    /// Floating-point operations per multiplication (`2 · NNZ`, the paper's
-    /// convention).
-    fn flops(&self) -> f64 {
-        2.0 * self.nnz() as f64
-    }
-}
-
-/// A reusable `Y = A·X` kernel over a dense block of `k` right-hand sides
-/// (SpMM). The matrix stream is read once per call and reused across all `k`
-/// columns — the reuse-factor argument that makes block-Krylov consumers
-/// cheaper per right-hand side than `k` separate [`SpmvKernel::spmv`] calls.
-///
-/// ```
-/// use sparseopt_core::prelude::*;
-/// use std::sync::Arc;
-///
-/// let mut coo = CooMatrix::new(3, 3);
-/// for i in 0..3 { coo.push(i, i, 2.0); }
-/// let csr = Arc::new(CsrMatrix::from_coo(&coo));
-/// let kernel = CsrSpmm::baseline(csr, ExecCtx::new(2));
-///
-/// let x = MultiVec::from_fn(3, 4, |row, rhs| (row + rhs) as f64);
-/// let mut y = MultiVec::zeros(3, 4);
-/// kernel.spmm(&x, &mut y);
-/// assert_eq!(y.row(1), &[2.0, 4.0, 6.0, 8.0]);
-/// ```
-pub trait SpmmKernel: Send + Sync {
-    /// Human-readable kernel identifier, e.g. `csr-spmm[static-nnz]`.
-    fn name(&self) -> String;
-
-    /// `(nrows, ncols)` of the operator.
-    fn shape(&self) -> (usize, usize);
-
-    /// Number of stored nonzeros.
-    fn nnz(&self) -> usize;
-
-    /// Computes `Y = A·X` for row-major `X ∈ R^{ncols×k}`, `Y ∈ R^{nrows×k}`.
-    ///
-    /// # Panics
-    /// Panics if `x.nrows() != ncols`, `y.nrows() != nrows`, or the two
-    /// multi-vectors disagree on `k`.
-    fn spmm(&self, x: &MultiVec, y: &mut MultiVec);
-
-    /// Per-thread wall times of the most recent `spmm` call, if tracked.
-    fn last_thread_times(&self) -> Vec<Duration> {
-        Vec::new()
-    }
-
-    /// Bytes of matrix data the kernel streams per multiplication (streamed
-    /// once regardless of `k`).
-    fn footprint_bytes(&self) -> usize;
-
-    /// Floating-point operations per multiplication with `k` right-hand
-    /// sides (`2 · NNZ · k`).
-    fn flops(&self, k: usize) -> f64 {
-        2.0 * self.nnz() as f64 * k as f64
-    }
-}
+/// Thin compatibility shim: the historical multi-vector view of an
+/// operator. Blanket-implemented for every [`SparseLinOp`].
+pub trait SpmmKernel: SparseLinOp {}
+impl<T: SparseLinOp + ?Sized> SpmmKernel for T {}
 
 /// Computes Gflop/s from a flop count and a duration in seconds.
 pub fn gflops(flops: f64, secs: f64) -> f64 {
@@ -117,27 +54,6 @@ pub fn gflops(flops: f64, secs: f64) -> f64 {
     }
 }
 
-/// Validates operand shapes; shared by all kernel implementations.
-#[inline]
-pub(crate) fn check_operands(nrows: usize, ncols: usize, x: &[f64], y: &[f64]) {
-    assert_eq!(x.len(), ncols, "x length {} != ncols {}", x.len(), ncols);
-    assert_eq!(y.len(), nrows, "y length {} != nrows {}", y.len(), nrows);
-}
-
-/// Validates SpMM operand shapes; shared by all [`SpmmKernel`] impls.
-#[inline]
-pub(crate) fn check_spmm_operands(nrows: usize, ncols: usize, x: &MultiVec, y: &MultiVec) {
-    assert_eq!(x.nrows(), ncols, "x rows {} != ncols {}", x.nrows(), ncols);
-    assert_eq!(y.nrows(), nrows, "y rows {} != nrows {}", y.nrows(), nrows);
-    assert_eq!(
-        x.width(),
-        y.width(),
-        "x width {} != y width {}",
-        x.width(),
-        y.width()
-    );
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +62,24 @@ mod tests {
     fn gflops_math() {
         assert_eq!(gflops(2e9, 1.0), 2.0);
         assert_eq!(gflops(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn shim_traits_upcast_to_the_unified_op() {
+        use crate::coo::CooMatrix;
+        use crate::csr::CsrMatrix;
+        use std::sync::Arc;
+
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        let csr = Arc::new(CsrMatrix::from_coo(&coo));
+        let boxed: Box<dyn SpmvKernel> = Box::new(SerialCsr::new(csr));
+        // The shim is just a view: the unified trait is reachable from it.
+        let op: &dyn SparseLinOp = boxed.as_ref();
+        assert_eq!(op.shape(), (2, 2));
+        let mut y = vec![0.0; 2];
+        boxed.spmv(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![1.0, 2.0]);
     }
 }

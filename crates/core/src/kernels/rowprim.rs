@@ -1,4 +1,5 @@
-//! Row-level dot-product primitives shared by the CSR kernel family.
+//! Row-level primitives shared by the kernel family: the dot products of
+//! the single-vector path and the register-blocked multi-vector row pass.
 //!
 //! The paper's CMP optimization is "inner loop unrolling + vectorization"
 //! (Table II) and its MB optimization adds vectorization on top of
@@ -7,7 +8,48 @@
 //! falls back to the unrolled path otherwise, so results are identical across
 //! hosts.
 
-use crate::util::prefetch_read;
+use crate::util::{prefetch_read, SendMutPtr};
+
+/// Width of the register-blocked column tile of the multi-vector row pass:
+/// the number of accumulators a row holds live while streaming its nonzeros
+/// (8 doubles = one cache line of `X`, and few enough registers that the
+/// compiler keeps them enregistered alongside the value/index streams).
+pub const SPMM_COL_TILE: usize = 8;
+
+/// One row of a multi-vector product: `Σ_j vals[j] · X[cols[j], ·]`,
+/// computed tile by tile with [`SPMM_COL_TILE`] register accumulators and
+/// written through `yp`.
+///
+/// # Safety
+/// `yp` must point at a `nrows × k` row-major buffer and row `i` must be
+/// owned exclusively by the calling thread.
+#[inline]
+pub(crate) unsafe fn row_spmm_write(
+    i: usize,
+    cols: &[u32],
+    vals: &[f64],
+    xs: &[f64],
+    k: usize,
+    yp: &SendMutPtr<f64>,
+) {
+    let mut t0 = 0;
+    while t0 < k {
+        let tl = (k - t0).min(SPMM_COL_TILE);
+        let mut acc = [0.0f64; SPMM_COL_TILE];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let base = c as usize * k + t0;
+            let xr = &xs[base..base + tl];
+            for (a, &xv) in acc[..tl].iter_mut().zip(xr) {
+                *a += v * xv;
+            }
+        }
+        for (t, &a) in acc[..tl].iter().enumerate() {
+            // SAFETY: forwarded from the caller's contract.
+            unsafe { yp.write(i * k + t0 + t, a) };
+        }
+        t0 += tl;
+    }
+}
 
 /// Inner-loop flavor of a CSR-family kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]

@@ -1,0 +1,404 @@
+//! Operators over the dense-slab formats: BCSR (register blocking) and
+//! ELLPACK.
+//!
+//! Both run the same structure as the CSR family — the row (or block-row)
+//! loop is partitioned across the thread pool, each unit runs a
+//! register-blocked pass over a column tile of `X` — and share the
+//! scratch-and-merge machinery for transposed application. The `k = 1`
+//! vector paths are the exact single-column slice of the multi-vector
+//! paths, so one flat implementation serves the whole [`SparseLinOp`]
+//! surface.
+
+use super::rowprim::SPMM_COL_TILE;
+use super::transpose::TransposePlan;
+use super::{check_apply_multi_operands, check_apply_operands, Apply, SparseLinOp};
+use crate::bcsr::BcsrMatrix;
+use crate::ell::{EllMatrix, PAD};
+use crate::multivec::MultiVec;
+use crate::partition::Partition;
+use crate::pool::ExecCtx;
+use crate::util::SendMutPtr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pool-parallel operator over BCSR: each stored `r × c` block multiplies
+/// `c` rows of `X` into `r` rows of a block-row-local accumulator, so the
+/// dense payload streams once per column tile with fixed trip counts.
+pub struct BcsrKernel {
+    matrix: Arc<BcsrMatrix>,
+    ctx: Arc<ExecCtx>,
+    /// Block rows per thread, balanced by stored-block count.
+    partition: Partition,
+    /// Transpose plan over the same block-row units.
+    tplan: TransposePlan,
+}
+
+impl BcsrKernel {
+    /// Builds the operator with a block-count-balanced static partition of
+    /// the block rows.
+    pub fn new(matrix: Arc<BcsrMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        let partition = Partition::by_rowptr(matrix.browptr(), ctx.nthreads());
+        let tplan = TransposePlan::by_rowptr(matrix.browptr(), matrix.ncols(), ctx.nthreads());
+        Self {
+            matrix,
+            ctx,
+            partition,
+            tplan,
+        }
+    }
+
+    /// Shared flat-storage application (`k = 1` is the vector path).
+    fn apply_flat(&self, op: Apply, xs: &[f64], k: usize, y: &mut [f64]) {
+        let m = &self.matrix;
+        let (r, c) = m.block_shape();
+        let nrows = m.nrows();
+        let ncols = m.ncols();
+        match op {
+            Apply::NoTrans => {
+                let yp = SendMutPtr::new(y);
+                let partition = self.partition.clone();
+                self.ctx.run(|tid| {
+                    if tid >= partition.len() {
+                        return;
+                    }
+                    // Block-row-local accumulator: r rows × k columns, reused.
+                    let mut acc = vec![0.0f64; r * k];
+                    for br in partition.range(tid) {
+                        let row_lo = br * r;
+                        let rows_here = (nrows - row_lo).min(r);
+                        acc[..rows_here * k].fill(0.0);
+                        for bk in m.browptr()[br]..m.browptr()[br + 1] {
+                            let col_lo = m.bcolind()[bk] as usize * c;
+                            let cols_here = (ncols - col_lo).min(c);
+                            let payload = &m.blocks()[bk * r * c..(bk + 1) * r * c];
+                            for di in 0..rows_here {
+                                let arow = &mut acc[di * k..(di + 1) * k];
+                                for dj in 0..cols_here {
+                                    // Explicit fill zeros multiply through —
+                                    // a branch here would also cost more than
+                                    // the madd it skips.
+                                    let a = payload[di * c + dj];
+                                    let xr = &xs[(col_lo + dj) * k..(col_lo + dj + 1) * k];
+                                    for (av, &xv) in arow.iter_mut().zip(xr) {
+                                        *av += a * xv;
+                                    }
+                                }
+                            }
+                        }
+                        for di in 0..rows_here {
+                            for t in 0..k {
+                                // SAFETY: block rows are dispensed to exactly
+                                // one thread, so these output rows are
+                                // thread-exclusive.
+                                unsafe { yp.write((row_lo + di) * k + t, acc[di * k + t]) };
+                            }
+                        }
+                    }
+                });
+            }
+            Apply::Trans => {
+                self.tplan.execute(&self.ctx, k, y, |brows, scratch| {
+                    for br in brows {
+                        let row_lo = br * r;
+                        let rows_here = (nrows - row_lo).min(r);
+                        for bk in m.browptr()[br]..m.browptr()[br + 1] {
+                            let col_lo = m.bcolind()[bk] as usize * c;
+                            let cols_here = (ncols - col_lo).min(c);
+                            let payload = &m.blocks()[bk * r * c..(bk + 1) * r * c];
+                            // The block scatters transposed: column dj of the
+                            // payload accumulates row di of X.
+                            for di in 0..rows_here {
+                                let xr = &xs[(row_lo + di) * k..(row_lo + di + 1) * k];
+                                for dj in 0..cols_here {
+                                    let a = payload[di * c + dj];
+                                    let dst =
+                                        &mut scratch[(col_lo + dj) * k..(col_lo + dj + 1) * k];
+                                    for (d, &xv) in dst.iter_mut().zip(xr) {
+                                        *d += a * xv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+impl SparseLinOp for BcsrKernel {
+    fn name(&self) -> String {
+        let (r, c) = self.matrix.block_shape();
+        format!("bcsr-{r}x{c}[static-blocks]")
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn apply(&self, op: Apply, x: &[f64], y: &mut [f64]) {
+        check_apply_operands(self.shape(), op, x, y);
+        self.apply_flat(op, x, 1, y);
+    }
+
+    fn apply_multi(&self, op: Apply, x: &MultiVec, y: &mut MultiVec) {
+        check_apply_multi_operands(self.shape(), op, x, y);
+        self.apply_flat(op, x.as_slice(), x.width(), y.as_mut_slice());
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+/// Pool-parallel operator over ELLPACK: the row loop is partitioned by rows
+/// and each row walks its fixed-width slot list once per column tile.
+pub struct EllKernel {
+    matrix: Arc<EllMatrix>,
+    ctx: Arc<ExecCtx>,
+    partition: Partition,
+    tplan: TransposePlan,
+}
+
+impl EllKernel {
+    /// Builds the operator with an equal-row-count partition (ELL's fixed
+    /// width makes rows near-uniform by construction).
+    pub fn new(matrix: Arc<EllMatrix>, ctx: Arc<ExecCtx>) -> Self {
+        let partition = Partition::by_rows(matrix.nrows(), ctx.nthreads());
+        let tplan = TransposePlan::by_rows(matrix.nrows(), matrix.ncols(), ctx.nthreads());
+        Self {
+            matrix,
+            ctx,
+            partition,
+            tplan,
+        }
+    }
+
+    /// Shared flat-storage application (`k = 1` is the vector path).
+    fn apply_flat(&self, op: Apply, xs: &[f64], k: usize, y: &mut [f64]) {
+        let m = &self.matrix;
+        let width = m.width();
+        match op {
+            Apply::NoTrans => {
+                let yp = SendMutPtr::new(y);
+                let partition = self.partition.clone();
+                self.ctx.run(|tid| {
+                    if tid >= partition.len() {
+                        return;
+                    }
+                    for i in partition.range(tid) {
+                        let mut t0 = 0;
+                        while t0 < k {
+                            let tl = (k - t0).min(SPMM_COL_TILE);
+                            let mut acc = [0.0f64; SPMM_COL_TILE];
+                            for s in 0..width {
+                                let c = m.slot_cols(s)[i];
+                                if c == PAD {
+                                    continue;
+                                }
+                                let v = m.slot_vals(s)[i];
+                                let base = c as usize * k + t0;
+                                let xr = &xs[base..base + tl];
+                                for (a, &xv) in acc[..tl].iter_mut().zip(xr) {
+                                    *a += v * xv;
+                                }
+                            }
+                            for (t, &a) in acc[..tl].iter().enumerate() {
+                                // SAFETY: the static row partition is disjoint.
+                                unsafe { yp.write(i * k + t0 + t, a) };
+                            }
+                            t0 += tl;
+                        }
+                    }
+                });
+            }
+            Apply::Trans => {
+                self.tplan.execute(&self.ctx, k, y, |rows, scratch| {
+                    for i in rows {
+                        let xr = &xs[i * k..(i + 1) * k];
+                        for s in 0..width {
+                            let c = m.slot_cols(s)[i];
+                            if c == PAD {
+                                continue;
+                            }
+                            let v = m.slot_vals(s)[i];
+                            let dst = &mut scratch[c as usize * k..c as usize * k + k];
+                            for (d, &xv) in dst.iter_mut().zip(xr) {
+                                *d += v * xv;
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+impl SparseLinOp for EllKernel {
+    fn name(&self) -> String {
+        format!("ell-w{}[static-rows]", self.matrix.width())
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.nrows(), self.matrix.ncols())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    fn apply(&self, op: Apply, x: &[f64], y: &mut [f64]) {
+        check_apply_operands(self.shape(), op, x, y);
+        self.apply_flat(op, x, 1, y);
+    }
+
+    fn apply_multi(&self, op: Apply, x: &MultiVec, y: &mut MultiVec) {
+        check_apply_multi_operands(self.shape(), op, x, y);
+        self.apply_flat(op, x.as_slice(), x.width(), y.as_mut_slice());
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::csr::CsrMatrix;
+    use crate::kernels::SerialCsr;
+
+    fn random_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Arc<CsrMatrix> {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..nrows {
+            for _ in 0..per_row {
+                let c = (next() % ncols as u64) as usize;
+                coo.push(i, c, (next() % 1000) as f64 / 100.0 - 5.0);
+            }
+        }
+        Arc::new(CsrMatrix::from_coo(&coo))
+    }
+
+    fn assert_close(name: &str, got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (a, b)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                "{name}: index {i} differs: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_slab_operators_match_serial_on_rectangular() {
+        // 25 × 19 exercises ragged block/slot tails on both axes.
+        let csr = random_matrix(25, 19, 5, 0xabc);
+        let serial = SerialCsr::new(csr.clone());
+        let ctx = ExecCtx::new(3);
+        let ops: Vec<Box<dyn SparseLinOp>> = vec![
+            Box::new(BcsrKernel::new(
+                Arc::new(BcsrMatrix::from_csr(&csr, 2, 3)),
+                ctx.clone(),
+            )),
+            Box::new(BcsrKernel::new(
+                Arc::new(BcsrMatrix::from_csr(&csr, 4, 4)),
+                ctx.clone(),
+            )),
+            Box::new(EllKernel::new(
+                Arc::new(EllMatrix::from_csr(&csr)),
+                ctx.clone(),
+            )),
+        ];
+        let x: Vec<f64> = (0..19).map(|i| (i as f64 * 0.7).cos()).collect();
+        let xt: Vec<f64> = (0..25).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut want = vec![0.0; 25];
+        serial.apply(Apply::NoTrans, &x, &mut want);
+        let mut want_t = vec![0.0; 19];
+        serial.apply(Apply::Trans, &xt, &mut want_t);
+
+        for op in &ops {
+            let mut y = vec![f64::NAN; 25];
+            op.apply(Apply::NoTrans, &x, &mut y);
+            assert_close(&op.name(), &y, &want);
+
+            let mut yt = vec![f64::NAN; 19];
+            op.apply(Apply::Trans, &xt, &mut yt);
+            assert_close(&format!("{}^T", op.name()), &yt, &want_t);
+        }
+    }
+
+    #[test]
+    fn multi_vector_paths_match_columnwise_vector_paths() {
+        let csr = random_matrix(40, 40, 4, 0x77);
+        let ctx = ExecCtx::new(2);
+        let ops: Vec<Box<dyn SparseLinOp>> = vec![
+            Box::new(BcsrKernel::new(
+                Arc::new(BcsrMatrix::from_csr(&csr, 3, 2)),
+                ctx.clone(),
+            )),
+            Box::new(EllKernel::new(
+                Arc::new(EllMatrix::from_csr(&csr)),
+                ctx.clone(),
+            )),
+        ];
+        for op_mode in Apply::ALL {
+            for k in [1usize, 3, 11] {
+                let x = MultiVec::from_fn(40, k, |i, j| ((i * 5 + j) as f64 * 0.21).sin());
+                for op in &ops {
+                    let mut y = MultiVec::zeros(40, k);
+                    y.fill(f64::NAN);
+                    op.apply_multi(op_mode, &x, &mut y);
+                    for j in 0..k {
+                        let mut yj = vec![f64::NAN; 40];
+                        op.apply(op_mode, &x.column(j), &mut yj);
+                        assert_close(
+                            &format!("{} {op_mode:?} k={k} col {j}", op.name()),
+                            &y.column(j),
+                            &yj,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x rows")]
+    fn shape_mismatch_panics() {
+        let csr = random_matrix(10, 10, 2, 3);
+        let kernel = BcsrKernel::new(Arc::new(BcsrMatrix::from_csr(&csr, 2, 2)), ExecCtx::new(1));
+        let x = MultiVec::zeros(4, 2);
+        let mut y = MultiVec::zeros(10, 2);
+        kernel.spmm(&x, &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_mismatch_panics() {
+        let csr = random_matrix(10, 10, 2, 3);
+        let kernel = EllKernel::new(Arc::new(EllMatrix::from_csr(&csr)), ExecCtx::new(1));
+        let x = MultiVec::zeros(10, 2);
+        let mut y = MultiVec::zeros(10, 3);
+        kernel.spmm(&x, &mut y);
+    }
+}

@@ -11,9 +11,11 @@
 //! - [`coo`] / [`csr`] — interchange and baseline compute formats.
 //! - [`delta`] — delta-compressed column indices (MB optimization).
 //! - [`decomposed`] — long-row decomposition (IMB optimization, Fig. 5/6).
-//! - [`kernels`] — the SpMV kernel family (Fig. 2 baseline, Table II
-//!   optimizations, Section III-B micro-benchmarks) and the SpMM kernel
-//!   family (`Y = A·X`, one [`kernels::SpmmKernel`] per format).
+//! - [`kernels`] — the format-erased operator layer: one
+//!   [`kernels::SparseLinOp`] implementation per storage format, each
+//!   covering the `{NoTrans, Trans} × {vector, multi-vector}` application
+//!   space (Fig. 2 baseline, Table II optimizations, Section III-B
+//!   micro-benchmarks).
 //! - [`multivec`] — dense row-major multi-vector (`X ∈ R^{n×k}`) backing the
 //!   multiple-right-hand-side workload; each fetched nonzero is reused `k`
 //!   times, amortizing the matrix stream.
@@ -59,8 +61,8 @@ pub mod prelude {
     pub use crate::delta::{DeltaCsrMatrix, DeltaWidth};
     pub use crate::ell::EllMatrix;
     pub use crate::kernels::{
-        gflops, BcsrSpmm, CsrKernelConfig, CsrSpmm, DecomposedKernel, DecomposedSpmm, DeltaKernel,
-        DeltaSpmm, EllSpmm, InnerLoop, ParallelCsr, SerialCsr, SpmmKernel, SpmvKernel,
+        gflops, Apply, BcsrKernel, CsrKernelConfig, DecomposedKernel, DeltaKernel, EllKernel,
+        InnerLoop, OpCapabilities, ParallelCsr, SerialCsr, SparseLinOp, SpmmKernel, SpmvKernel,
         UnitStrideCsr,
     };
     pub use crate::multivec::MultiVec;

@@ -66,6 +66,16 @@ impl ExecCtx {
         });
     }
 
+    /// Folds `extra` into the recorded per-thread times — used by
+    /// multi-phase kernels (the transpose scatter + merge) so
+    /// [`Self::last_thread_times`] covers the whole application rather than
+    /// only the final phase.
+    pub(crate) fn accumulate_last_times(&self, extra: &[Duration]) {
+        for (slot, d) in self.times_ns.iter().zip(extra) {
+            slot.fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Per-thread execution times of the most recent [`Self::run`].
     pub fn last_thread_times(&self) -> Vec<Duration> {
         self.times_ns

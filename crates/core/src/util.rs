@@ -26,6 +26,17 @@ impl<T> SendMutPtr<T> {
     pub(crate) unsafe fn write(&self, idx: usize, value: T) {
         unsafe { *self.0.add(idx) = value }
     }
+
+    /// Reborrows a window of the original slice.
+    ///
+    /// # Safety
+    /// `[offset, offset + len)` must be in bounds of the original slice and
+    /// exclusively owned by the caller for the lifetime of the window.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn window(&self, offset: usize, len: usize) -> &mut [T] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(offset), len) }
+    }
 }
 
 /// Issues a read prefetch for the cache line containing `ptr` into L1

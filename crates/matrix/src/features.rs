@@ -124,15 +124,20 @@ impl MatrixFeatures {
 
     /// The named feature vector for a Table IV feature set.
     pub fn vector(&self, set: FeatureSet) -> Vec<f64> {
-        set.names().iter().map(|name| self.get(name)).collect()
+        set.names()
+            .iter()
+            .map(|name| {
+                self.get(name)
+                    .expect("FeatureSet::names only lists canonical Table I names")
+            })
+            .collect()
     }
 
-    /// Looks a feature up by its Table I name.
-    ///
-    /// # Panics
-    /// Panics on an unknown feature name (programming error).
-    pub fn get(&self, name: &str) -> f64 {
-        match name {
+    /// Looks a feature up by its Table I name; `None` for names outside the
+    /// table (callers with user-supplied names decide how to react —
+    /// formerly this panicked).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        Some(match name {
             "size" => self.size_fits_llc,
             "density" => self.density,
             "nnz_min" => self.nnz_min,
@@ -147,8 +152,8 @@ impl MatrixFeatures {
             "scatter_sd" | "dispersion_sd" => self.scatter_sd,
             "clustering_avg" => self.clustering_avg,
             "misses_avg" => self.misses_avg,
-            other => panic!("unknown feature name: {other}"),
-        }
+            _ => return None,
+        })
     }
 }
 
@@ -331,6 +336,16 @@ mod tests {
             assert_eq!(v.len(), set.names().len());
             assert!(v.iter().all(|x| x.is_finite()));
         }
+    }
+
+    #[test]
+    fn unknown_feature_name_is_none_not_a_panic() {
+        let m = CsrMatrix::from_coo(&generators::banded(8, 1));
+        let f = MatrixFeatures::extract(&m, LLC);
+        assert_eq!(f.get("no_such_feature"), None);
+        assert_eq!(f.get(""), None);
+        assert_eq!(f.get("density"), Some(f.density));
+        assert_eq!(f.get("dispersion_avg"), Some(f.scatter_avg));
     }
 
     #[test]

@@ -1,11 +1,36 @@
 //! Matrix Market (`.mtx`) reader/writer — the interchange format of the
 //! University of Florida Sparse Matrix Collection the paper draws its suite
 //! from. Supports the `coordinate` format with `real`, `integer`, and
-//! `pattern` fields and the `general` / `symmetric` symmetry modes, which
-//! covers the collection's SpMV-relevant corpus.
+//! `pattern` fields and the `general` / `symmetric` / `skew-symmetric`
+//! symmetry modes, which covers the collection's SpMV-relevant corpus.
 
 use sparseopt_core::coo::CooMatrix;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Symmetry mode of a coordinate Matrix Market file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// Every stored entry stands for itself.
+    General,
+    /// Off-diagonal entries `(r, c)` imply `(c, r)` with the same value;
+    /// only the lower triangle is stored.
+    Symmetric,
+    /// Off-diagonal entries `(r, c)` imply `(c, r)` with the *negated*
+    /// value; the diagonal is implicitly zero and the format stores only
+    /// the strictly lower triangle.
+    SkewSymmetric,
+}
+
+impl MmSymmetry {
+    /// The header token for this mode.
+    pub fn token(self) -> &'static str {
+        match self {
+            MmSymmetry::General => "general",
+            MmSymmetry::Symmetric => "symmetric",
+            MmSymmetry::SkewSymmetric => "skew-symmetric",
+        }
+    }
+}
 
 /// Errors raised by the Matrix Market parser.
 #[derive(Debug)]
@@ -57,10 +82,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, MmError> {
     if !matches!(field.as_str(), "real" | "integer" | "pattern") {
         return Err(parse_err(format!("unsupported field type: {field}")));
     }
-    let symmetry = tokens[4].clone();
-    if !matches!(symmetry.as_str(), "general" | "symmetric") {
-        return Err(parse_err(format!("unsupported symmetry: {symmetry}")));
-    }
+    let symmetry = match tokens[4].as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
+        other => return Err(parse_err(format!("unsupported symmetry: {other}"))),
+    };
 
     // Size line (first non-comment line).
     let mut size_line = None;
@@ -116,9 +143,23 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, MmError> {
                 .parse()
                 .map_err(|_| parse_err(format!("bad value in: {t}")))?,
         };
-        coo.push(r - 1, c - 1, v);
-        if symmetry == "symmetric" && r != c {
-            coo.push(c - 1, r - 1, v);
+        match symmetry {
+            MmSymmetry::General => coo.push(r - 1, c - 1, v),
+            MmSymmetry::Symmetric => {
+                coo.push(r - 1, c - 1, v);
+                if r != c {
+                    coo.push(c - 1, r - 1, v);
+                }
+            }
+            MmSymmetry::SkewSymmetric => {
+                if r == c {
+                    return Err(parse_err(format!(
+                        "skew-symmetric entry on the diagonal at ({r},{c})"
+                    )));
+                }
+                coo.push(r - 1, c - 1, v);
+                coo.push(c - 1, r - 1, -v);
+            }
         }
         seen += 1;
     }
@@ -130,11 +171,93 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix, MmError> {
 
 /// Writes a COO matrix in `general real` coordinate format.
 pub fn write_matrix_market<W: Write>(coo: &CooMatrix, writer: W) -> Result<(), MmError> {
+    write_matrix_market_with(coo, MmSymmetry::General, writer)
+}
+
+/// Writes a COO matrix in `real` coordinate format with an explicit
+/// symmetry mode. `Symmetric` / `SkewSymmetric` store only the (strictly,
+/// for skew) lower triangle after **verifying** the matrix actually has the
+/// claimed structure — a mismatched pair or a nonzero diagonal under
+/// `SkewSymmetric` is a `Parse` error, never silent data loss.
+pub fn write_matrix_market_with<W: Write>(
+    coo: &CooMatrix,
+    symmetry: MmSymmetry,
+    writer: W,
+) -> Result<(), MmError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+
+    // General mode streams the raw triplets (duplicates preserved), exactly
+    // as the historical writer did — only the symmetric modes pay for a
+    // normalized copy, which their structural verification needs anyway.
+    if symmetry == MmSymmetry::General {
+        writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+        writeln!(w, "% generated by sparseopt")?;
+        writeln!(w, "{} {} {}", coo.nrows(), coo.ncols(), coo.nnz())?;
+        for (r, c, v) in coo.iter() {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        }
+        w.flush()?;
+        return Ok(());
+    }
+
+    if coo.nrows() != coo.ncols() {
+        return Err(parse_err(format!(
+            "{} output needs a square matrix",
+            symmetry.token()
+        )));
+    }
+    // Deduplicate so structural verification sees one value per coordinate,
+    // matching what a reader reconstructs.
+    let entries: Vec<(usize, usize, f64)> = {
+        let mut sorted = coo.clone();
+        sorted.sort_and_dedup();
+        sorted.iter().collect()
+    };
+    // `sort_and_dedup` leaves the triplets in (row, col) order — the
+    // invariant the binary search below relies on.
+    debug_assert!(entries
+        .windows(2)
+        .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    let value_at = |r: usize, c: usize| -> Option<f64> {
+        entries
+            .binary_search_by(|&(er, ec, _)| (er, ec).cmp(&(r, c)))
+            .ok()
+            .map(|i| entries[i].2)
+    };
+    for &(r, c, v) in &entries {
+        if r == c {
+            if symmetry == MmSymmetry::SkewSymmetric && v != 0.0 {
+                return Err(parse_err(format!(
+                    "skew-symmetric matrix has nonzero diagonal at ({r},{r})"
+                )));
+            }
+            continue;
+        }
+        let want = match symmetry {
+            MmSymmetry::Symmetric => v,
+            _ => -v,
+        };
+        if value_at(c, r) != Some(want) {
+            return Err(parse_err(format!(
+                "matrix is not {}: entry ({r},{c}) has no matching ({c},{r})",
+                symmetry.token()
+            )));
+        }
+    }
+
+    let stored: Vec<&(usize, usize, f64)> = match symmetry {
+        MmSymmetry::Symmetric => entries.iter().filter(|&&(r, c, _)| r >= c).collect(),
+        _ => entries.iter().filter(|&&(r, c, _)| r > c).collect(),
+    };
+
+    writeln!(
+        w,
+        "%%MatrixMarket matrix coordinate real {}",
+        symmetry.token()
+    )?;
     writeln!(w, "% generated by sparseopt")?;
-    writeln!(w, "{} {} {}", coo.nrows(), coo.ncols(), coo.nnz())?;
-    for (r, c, v) in coo.iter() {
+    writeln!(w, "{} {} {}", coo.nrows(), coo.ncols(), stored.len())?;
+    for &&(r, c, v) in &stored {
         writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
     }
     w.flush()?;
@@ -203,6 +326,72 @@ mod tests {
             assert_eq!((r1, c1), (r2, c2));
             assert!((v1 - v2).abs() < 1e-15 * v1.abs().max(1e-300));
         }
+    }
+
+    #[test]
+    fn expands_skew_symmetric_with_negation() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   3 3 2\n\
+                   2 1 4.0\n\
+                   3 2 -1.5\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        let mut got: Vec<_> = m.iter().collect();
+        got.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(
+            got,
+            vec![(0, 1, -4.0), (1, 0, 4.0), (1, 2, -(-1.5)), (2, 1, -1.5)]
+        );
+    }
+
+    #[test]
+    fn skew_symmetric_rejects_diagonal_entries() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 1\n\
+                   2 2 3.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("diagonal"), "{err}");
+    }
+
+    #[test]
+    fn skew_symmetric_round_trip_through_writer() {
+        // Build A = -Aᵀ with a zero diagonal, write in skew-symmetric mode
+        // (strictly lower triangle only), and read it back expanded.
+        let mut coo = CooMatrix::new(4, 4);
+        for (r, c, v) in [(1usize, 0usize, 2.5f64), (3, 1, -0.75), (2, 0, 1.0e-3)] {
+            coo.push(r, c, v);
+            coo.push(c, r, -v);
+        }
+        let mut buf = Vec::new();
+        write_matrix_market_with(&coo, MmSymmetry::SkewSymmetric, &mut buf).unwrap();
+        let header = String::from_utf8_lossy(&buf);
+        assert!(header.starts_with("%%MatrixMarket matrix coordinate real skew-symmetric"));
+        // Only the 3 strictly-lower entries are stored.
+        assert!(header.contains("4 4 3"));
+
+        let mut back = read_matrix_market(buf.as_slice()).unwrap();
+        back.sort_and_dedup();
+        let mut want = coo.clone();
+        want.sort_and_dedup();
+        assert_eq!(back.nnz(), want.nnz());
+        for ((r1, c1, v1), (r2, c2, v2)) in back.iter().zip(want.iter()) {
+            assert_eq!((r1, c1), (r2, c2));
+            assert!((v1 - v2).abs() < 1e-15 * v2.abs().max(1e-300));
+        }
+    }
+
+    #[test]
+    fn writer_verifies_claimed_symmetry() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0); // missing the (1,0) partner
+        let mut buf = Vec::new();
+        let err = write_matrix_market_with(&coo, MmSymmetry::SkewSymmetric, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("not skew-symmetric"), "{err}");
+
+        let mut diag = CooMatrix::new(2, 2);
+        diag.push(0, 0, 1.0);
+        let err = write_matrix_market_with(&diag, MmSymmetry::SkewSymmetric, &mut Vec::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("diagonal"), "{err}");
     }
 
     #[test]

@@ -165,7 +165,7 @@ pub fn bandwidth(csr: &CsrMatrix) -> usize {
 mod tests {
     use super::*;
     use crate::generators as g;
-    use sparseopt_core::kernels::{SerialCsr, SpmvKernel};
+    use sparseopt_core::kernels::{SerialCsr, SparseLinOp};
     use std::sync::Arc;
 
     #[test]

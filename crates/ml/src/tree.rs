@@ -1,6 +1,6 @@
 //! CART decision tree with native multilabel support.
 //!
-//! The paper trains "a Decision Tree classifier ... adjust[ed] to perform
+//! The paper trains "a Decision Tree classifier ... adjust\[ed\] to perform
 //! multilabel classification" with "an optimized version of the CART
 //! algorithm" (scikit-learn). This is the same construction: binary splits
 //! on `feature <= threshold`, chosen to minimize the Gini impurity *summed

@@ -19,6 +19,6 @@ pub use optimizers::{
     AdaptiveOptimizer, MatrixEvaluation, OptimizedKernel, SimOptimizerStudy,
 };
 pub use pool::{
-    select_optimizations, single_and_pair_plans, single_plans, Optimization, OptimizationPlan,
-    LONG_ROW_FACTOR, LONG_ROW_SKEW,
+    select_optimizations, single_and_pair_plans, single_plans, OpRequirements, Optimization,
+    OptimizationPlan, LONG_ROW_FACTOR, LONG_ROW_SKEW,
 };

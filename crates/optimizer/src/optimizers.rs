@@ -15,7 +15,7 @@
 //! platform — regenerates the paper's figures) and *host* (real kernels on
 //! this machine).
 
-use crate::pool::{single_and_pair_plans, OptimizationPlan};
+use crate::pool::{single_and_pair_plans, OpRequirements, OptimizationPlan};
 use sparseopt_classifier::{
     BoundsProfiler, ClassSet, FeatureGuidedClassifier, PerClassBounds, ProfileGuidedClassifier,
     SimBoundsProfiler,
@@ -59,7 +59,7 @@ pub fn inspector_executor_sim_config() -> SimKernelConfig {
 }
 
 /// Host-side equivalents of the two vendor baselines.
-pub fn mkl_host_kernel(csr: &Arc<CsrMatrix>, ctx: Arc<ExecCtx>) -> Box<dyn SpmvKernel> {
+pub fn mkl_host_kernel(csr: &Arc<CsrMatrix>, ctx: Arc<ExecCtx>) -> Box<dyn SparseLinOp> {
     let cfg = CsrKernelConfig {
         inner: InnerLoop::Simd,
         prefetch: false,
@@ -72,7 +72,7 @@ pub fn mkl_host_kernel(csr: &Arc<CsrMatrix>, ctx: Arc<ExecCtx>) -> Box<dyn SpmvK
 pub fn inspector_executor_host_kernel(
     csr: &Arc<CsrMatrix>,
     ctx: Arc<ExecCtx>,
-) -> Box<dyn SpmvKernel> {
+) -> Box<dyn SparseLinOp> {
     let cfg = CsrKernelConfig {
         inner: InnerLoop::Simd,
         prefetch: false,
@@ -235,8 +235,11 @@ pub struct AdaptiveOptimizer {
 
 /// Outcome of a host-side optimization.
 pub struct OptimizedKernel {
-    /// The runnable kernel.
-    pub kernel: Box<dyn SpmvKernel>,
+    /// The runnable operator (full `{NoTrans, Trans} × {vec, multivec}`
+    /// application space; query `kernel.capabilities()` for what the built
+    /// operator supports — it was validated against the consumer's
+    /// [`OpRequirements`] at build time).
+    pub kernel: Box<dyn SparseLinOp>,
     /// Detected classes.
     pub classes: ClassSet,
     /// The applied plan.
@@ -256,21 +259,59 @@ impl AdaptiveOptimizer {
     }
 
     /// Profile-guided optimization: measures the per-class bounds with the
-    /// supplied profiler, classifies, and builds the optimized kernel.
+    /// supplied profiler, classifies, and builds the optimized operator for
+    /// a forward single-vector consumer.
     pub fn optimize_profiled(
         &self,
         csr: &Arc<CsrMatrix>,
         profiler: &dyn BoundsProfiler,
     ) -> OptimizedKernel {
+        self.optimize_profiled_for(csr, profiler, &OpRequirements::spmv())
+    }
+
+    /// Profile-guided optimization for a consumer with explicit operator
+    /// requirements — the entry point transpose-consuming solvers (BiCG,
+    /// LSQR/CGNR) and block-Krylov drivers use. The returned operator is
+    /// guaranteed to satisfy `reqs`; if the classified plan's operator ever
+    /// could not, the *recorded* plan falls back to baseline along with the
+    /// kernel, so `OptimizedKernel::plan` always describes the operator
+    /// that actually runs.
+    pub fn optimize_profiled_for(
+        &self,
+        csr: &Arc<CsrMatrix>,
+        profiler: &dyn BoundsProfiler,
+        reqs: &OpRequirements,
+    ) -> OptimizedKernel {
         let bounds = profiler.measure(csr);
         let classes = self.classifier.classify(&bounds);
         let features = MatrixFeatures::extract(csr, self.llc_bytes);
-        let plan = OptimizationPlan::from_classes(classes, &features);
+        let (plan, kernel) = self.plan_and_build(csr, classes, &features, reqs);
         OptimizedKernel {
-            kernel: plan.build_host_kernel(csr, self.ctx.clone()),
+            kernel,
             classes,
             plan,
             bounds: Some(bounds),
+        }
+    }
+
+    /// Builds the class-derived plan's operator, falling back to the
+    /// baseline plan + operator *together* when the requirements cannot be
+    /// met (baseline CSR always covers the full application space).
+    fn plan_and_build(
+        &self,
+        csr: &Arc<CsrMatrix>,
+        classes: ClassSet,
+        features: &MatrixFeatures,
+        reqs: &OpRequirements,
+    ) -> (OptimizationPlan, Box<dyn SparseLinOp>) {
+        let plan = OptimizationPlan::from_classes(classes, features);
+        let kernel = plan.build_host_kernel(csr, self.ctx.clone());
+        if kernel.capabilities().satisfies(&reqs.as_capabilities()) {
+            (plan, kernel)
+        } else {
+            let baseline = OptimizationPlan::baseline();
+            let kernel = baseline.build_host_kernel(csr, self.ctx.clone());
+            (baseline, kernel)
         }
     }
 
@@ -281,11 +322,23 @@ impl AdaptiveOptimizer {
         csr: &Arc<CsrMatrix>,
         clf: &FeatureGuidedClassifier,
     ) -> OptimizedKernel {
+        self.optimize_feature_guided_for(csr, clf, &OpRequirements::spmv())
+    }
+
+    /// Feature-guided optimization with explicit operator requirements
+    /// (same plan-and-kernel fallback contract as
+    /// [`Self::optimize_profiled_for`]).
+    pub fn optimize_feature_guided_for(
+        &self,
+        csr: &Arc<CsrMatrix>,
+        clf: &FeatureGuidedClassifier,
+        reqs: &OpRequirements,
+    ) -> OptimizedKernel {
         let features = MatrixFeatures::extract(csr, self.llc_bytes);
         let classes = clf.classify(&features);
-        let plan = OptimizationPlan::from_classes(classes, &features);
+        let (plan, kernel) = self.plan_and_build(csr, classes, &features, reqs);
         OptimizedKernel {
-            kernel: plan.build_host_kernel(csr, self.ctx.clone()),
+            kernel,
             classes,
             plan,
             bounds: None,
@@ -373,6 +426,33 @@ mod tests {
             assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
         }
         assert!(result.bounds.is_some());
+    }
+
+    #[test]
+    fn transpose_capable_plans_apply_the_transpose_correctly() {
+        // A skewed matrix drives the optimizer to a non-CSR format
+        // (decomposition); the requirements-aware path must still hand back
+        // an operator whose Aᵀ·x matches the serial reference.
+        let csr = arc(g::few_dense_rows(600, 3, 2, 5));
+        let ctx = ExecCtx::new(3);
+        let opt = AdaptiveOptimizer::new(ctx.clone());
+        let profiler = SimBoundsProfiler::new(Platform::knc());
+        let result = opt.optimize_profiled_for(&csr, &profiler, &OpRequirements::full());
+        let caps = result.kernel.capabilities();
+        assert!(caps.transpose && caps.multi_vec);
+
+        let x: Vec<f64> = (0..600).map(|i| (i as f64 * 0.03).sin() + 0.5).collect();
+        let mut got = vec![f64::NAN; 600];
+        result.kernel.apply(Apply::Trans, &x, &mut got);
+        let mut want = vec![0.0; 600];
+        SerialCsr::new(csr.clone()).apply(Apply::Trans, &x, &mut want);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "row {i}: {a} vs {b} under plan {}",
+                result.plan.label()
+            );
+        }
     }
 
     #[test]

@@ -103,6 +103,45 @@ pub fn select_optimizations(classes: ClassSet, features: &MatrixFeatures) -> Vec
     opts
 }
 
+/// What a consumer needs from the operator a plan builds. Solvers that
+/// apply `Aᵀ` (BiCG, LSQR/CGNR) or whole multi-vectors (block Krylov) pass
+/// their requirements through the adaptive optimizer, which validates the
+/// built operator's [`OpCapabilities`] against them — the plan carries the
+/// requirement, the operator carries the capability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct OpRequirements {
+    /// Transposed application will be called.
+    pub transpose: bool,
+    /// Multi-vector application will be called.
+    pub multi_vec: bool,
+}
+
+impl OpRequirements {
+    /// Forward single-vector consumers (CG, BiCGSTAB, GMRES).
+    pub const fn spmv() -> Self {
+        Self {
+            transpose: false,
+            multi_vec: false,
+        }
+    }
+
+    /// The full application space (transpose-consuming block solvers).
+    pub const fn full() -> Self {
+        Self {
+            transpose: true,
+            multi_vec: true,
+        }
+    }
+
+    /// The capability record an operator must satisfy.
+    pub fn as_capabilities(&self) -> OpCapabilities {
+        OpCapabilities {
+            transpose: self.transpose,
+            multi_vec: self.multi_vec,
+        }
+    }
+}
+
 /// A concrete, jointly-applied optimization plan.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OptimizationPlan {
@@ -202,14 +241,18 @@ impl OptimizationPlan {
         }
     }
 
-    /// Builds the real, runnable kernel implementing the plan on the host.
-    /// Precedence when format-changing optimizations collide: decomposition
-    /// wins over compression (a decomposed matrix keeps plain indices).
+    /// Builds the real, runnable operator implementing the plan on the
+    /// host. Precedence when format-changing optimizations collide:
+    /// decomposition wins over compression (a decomposed matrix keeps plain
+    /// indices). Every format operator covers the full
+    /// `{NoTrans, Trans} × {vec, multivec}` space, so the result serves any
+    /// consumer; [`Self::build_host_op`] additionally checks an explicit
+    /// requirement set.
     pub fn build_host_kernel(
         &self,
         csr: &Arc<CsrMatrix>,
         ctx: Arc<ExecCtx>,
-    ) -> Box<dyn SpmvKernel> {
+    ) -> Box<dyn SparseLinOp> {
         let has = |o: Optimization| self.optimizations.contains(&o);
         let inner = self.inner;
         let prefetch = has(Optimization::Prefetch);
@@ -233,6 +276,33 @@ impl OptimizationPlan {
             };
             Box::new(ParallelCsr::new(csr.clone(), cfg, ctx))
         }
+    }
+
+    /// Builds the plan's operator and validates it against the consumer's
+    /// requirements.
+    ///
+    /// # Panics
+    /// Panics if the built operator cannot satisfy `reqs` — loud by design:
+    /// a silent substitute would leave this plan's label and preprocessing
+    /// cost describing an operator that never ran. Callers wanting a
+    /// fallback handle it themselves and record the substituted plan (see
+    /// `AdaptiveOptimizer::optimize_profiled_for`). Every format operator
+    /// currently covers the full application space, so this only fires if a
+    /// restricted operator is ever added to the plan space.
+    pub fn build_host_op(
+        &self,
+        csr: &Arc<CsrMatrix>,
+        ctx: Arc<ExecCtx>,
+        reqs: &OpRequirements,
+    ) -> Box<dyn SparseLinOp> {
+        let op = self.build_host_kernel(csr, ctx);
+        assert!(
+            op.capabilities().satisfies(&reqs.as_capabilities()),
+            "plan `{}` built operator `{}` lacking required capabilities {reqs:?}",
+            self.label(),
+            op.name(),
+        );
+        op
     }
 
     /// Display string, e.g. `prefetch+decompose`.

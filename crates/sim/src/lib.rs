@@ -20,9 +20,9 @@ pub use cache::{CacheHierarchy, CacheSim};
 pub use membench::{host_platform, stream_triad_gbs};
 pub use model::{
     analytic_mb_bound, analytic_peak_bound, analytic_spmm_mb_bound, analytic_spmm_peak_bound,
-    simulate, simulate_cmp_bound, simulate_imb_bound, simulate_ml_bound, simulate_spmm,
-    simulate_spmm_cmp_bound, simulate_spmm_imb_bound, simulate_spmm_ml_bound, SimFormat,
-    SimKernelConfig, SimMatrixProfile, SimResult,
+    simulate, simulate_apply, simulate_cmp_bound, simulate_imb_bound, simulate_ml_bound,
+    simulate_spmm, simulate_spmm_cmp_bound, simulate_spmm_imb_bound, simulate_spmm_ml_bound,
+    SimFormat, SimKernelConfig, SimMatrixProfile, SimResult,
 };
 pub use platform::Platform;
 pub use roofline::{

@@ -107,6 +107,8 @@ pub struct SimMatrixProfile {
     pub nnz: usize,
     /// Total rows.
     pub nrows: usize,
+    /// Total columns (the transposed application's output dimension).
+    pub ncols: usize,
 }
 
 impl SimMatrixProfile {
@@ -190,6 +192,7 @@ impl SimMatrixProfile {
             scale,
             nnz: csr.nnz(),
             nrows: csr.nrows(),
+            ncols: csr.ncols(),
         }
     }
 
@@ -311,27 +314,11 @@ pub fn simulate_spmm(
         _ => 4.0,
     };
 
-    // Working set decides which STREAM figure applies; compression shrinks
-    // it, extra right-hand sides grow the dense vectors, and the suite scale
-    // factor grows it to the modeled original's size.
-    let extra_vec_bytes = (kf - 1.0) * profile.vector_bytes as f64;
-    let ws = match config.format {
-        SimFormat::DeltaCsr => {
-            ((profile.working_set_bytes as f64
-                - (4.0 - profile.delta_index_bytes_per_nnz) * nnz_total
-                + extra_vec_bytes)
-                * profile.scale) as usize
-        }
-        _ => ((profile.working_set_bytes as f64 + extra_vec_bytes) * profile.scale) as usize,
-    };
-    let bw_total = platform.bandwidth_for_working_set(ws) * 1e9;
-    // A single core cannot pull the whole chip's bandwidth; cap its share.
-    let bw_core = (bw_total / nthreads as f64) * 4.0;
-    let bw_core = bw_core.min(bw_total);
-
-    // If the working set is cache-resident, x misses refill from the LLC at
-    // llc bandwidth rather than stalling on memory latency.
-    let cache_resident = ws <= platform.total_cache_bytes();
+    // Working set decides which STREAM figure applies (see
+    // [`residency_regime`]: compression shrinks it, extra right-hand sides
+    // grow the dense vectors, the suite scale factor grows it to the
+    // modeled original's size).
+    let (bw_total, bw_core, cache_resident) = residency_regime(profile, platform, config, k, 0.0);
 
     let freq = platform.freq_ghz * 1e9;
     let line = platform.cache_line as f64;
@@ -381,6 +368,138 @@ pub fn simulate_spmm(
         let stall = w.irregular * eff_miss_ns * unhidden / 1e9;
 
         thread_secs.push(compute.max(mem) + stall);
+        traffic += bytes;
+    }
+
+    let secs = thread_secs.iter().copied().fold(0.0, f64::max).max(1e-12);
+    SimResult {
+        secs,
+        gflops: 2.0 * nnz_total * kf / secs / 1e9,
+        thread_secs,
+        traffic_bytes: traffic,
+    }
+}
+
+/// The shared working-set → bandwidth/residency computation: compression
+/// shrinks the set, extra right-hand sides grow the dense vectors,
+/// `extra_bytes` adds any per-application scratch (the transpose path's
+/// per-thread windows), and the suite scale factor grows everything to the
+/// modeled original's size. Returns `(bw_total, bw_core, cache_resident)`.
+/// One implementation serves both [`simulate_spmm`] and the transposed
+/// side of [`simulate_apply`], so their residency decisions agree by
+/// construction.
+fn residency_regime(
+    profile: &SimMatrixProfile,
+    platform: &Platform,
+    config: &SimKernelConfig,
+    k: usize,
+    extra_bytes: f64,
+) -> (f64, f64, bool) {
+    let extra_vec_bytes = (k as f64 - 1.0) * profile.vector_bytes as f64;
+    let compression_bytes = match config.format {
+        SimFormat::DeltaCsr => (4.0 - profile.delta_index_bytes_per_nnz) * profile.nnz as f64,
+        _ => 0.0,
+    };
+    let ws =
+        ((profile.working_set_bytes as f64 - compression_bytes + extra_vec_bytes + extra_bytes)
+            * profile.scale) as usize;
+    let bw_total = platform.bandwidth_for_working_set(ws) * 1e9;
+    // A single core cannot pull the whole chip's bandwidth; cap its share.
+    let bw_core = ((bw_total / profile.nthreads as f64) * 4.0).min(bw_total);
+    // If the working set is cache-resident, x misses refill from the LLC at
+    // llc bandwidth rather than stalling on memory latency.
+    let cache_resident = ws <= platform.total_cache_bytes();
+    (bw_total, bw_core, cache_resident)
+}
+
+/// Simulates one operator application `Y = op(A)·X` with `k` right-hand
+/// sides — the execution model behind the unified
+/// [`sparseopt_core::kernels::SparseLinOp`] layer.
+///
+/// `Apply::NoTrans` is **exactly** the [`simulate_spmm`] model (and
+/// therefore, at `k = 1`, exactly [`simulate`]). `Apply::Trans` models the
+/// scratch-accumulate-and-merge transposed kernels, whose cost structure
+/// inverts the forward one:
+///
+/// * the matrix and `X` now both stream *sequentially* — the gather-side
+///   irregular-miss **latency stalls vanish** (store misses retire through
+///   the store buffer instead of stalling the pipeline);
+/// * in exchange, the irregular access pattern moves to the **scatter
+///   side** as write traffic: the same per-thread miss counts that stalled
+///   the forward kernel now each cost a write-allocate line fill plus its
+///   write-back against the thread-private scratch;
+/// * the merge pass adds `nthreads · ncols · k` doubles of read traffic,
+///   one `ncols × k` write, and its reduction compute.
+pub fn simulate_apply(
+    profile: &SimMatrixProfile,
+    platform: &Platform,
+    config: &SimKernelConfig,
+    k: usize,
+    op: sparseopt_core::kernels::Apply,
+) -> SimResult {
+    use sparseopt_core::kernels::Apply;
+    if op == Apply::NoTrans {
+        return simulate_spmm(profile, platform, config, k);
+    }
+    assert!(k >= 1, "apply needs at least one right-hand side");
+    let kf = k as f64;
+    let nthreads = profile.nthreads;
+    let nnz_total = profile.nnz as f64;
+    let ncols = profile.ncols as f64;
+    let work = distribute(profile, config);
+
+    // Per-element compute: the scatter madd chain does not vectorize the
+    // way the gather dot product does, so the inner-loop flavor is pinned
+    // to the scalar rate; delta decoding still pays its dependent add.
+    let mut cpe = platform.cpe_scalar;
+    if matches!(config.format, SimFormat::DeltaCsr) {
+        cpe += 0.3;
+    }
+    let index_bpn = match config.format {
+        SimFormat::DeltaCsr => profile.delta_index_bytes_per_nnz,
+        _ => 4.0,
+    };
+
+    // Working set: the shared regime plus the per-thread scratch windows —
+    // one [`residency_regime`] implementation keeps the NoTrans and Trans
+    // residency decisions in agreement by construction.
+    let scratch_bytes = nthreads as f64 * ncols * kf * 8.0;
+    let (bw_total, bw_core, cache_resident) =
+        residency_regime(profile, platform, config, k, scratch_bytes);
+
+    let freq = platform.freq_ghz * 1e9;
+    let line = platform.cache_line as f64;
+
+    let mut thread_secs = Vec::with_capacity(nthreads);
+    let mut traffic = 0.0f64;
+    // Merge phase, shared equally: every thread reduces ncols/nthreads
+    // output rows over nthreads partials.
+    let merge_cycles = ncols * kf;
+    let merge_bytes = (nthreads as f64 + 1.0) * ncols * kf * 8.0 / nthreads as f64;
+    for w in &work {
+        let compute_cycles =
+            w.nnz * cpe * kf + w.rows * platform.row_overhead_cycles + merge_cycles;
+        let compute = compute_cycles / freq;
+
+        // Matrix stream paid once, x streamed sequentially k-wide, scatter
+        // write-allocate traffic on the scratch (fill + write-back per
+        // miss), and the merge pass's share.
+        let bytes = w.nnz * (8.0 + index_bpn)
+            + w.rows * 8.0
+            + w.rows * 8.0 * kf
+            + w.misses * 2.0 * line.max(8.0 * kf)
+            + merge_bytes;
+        let bw_share = (bw_total * (w.nnz / nnz_total.max(1.0)))
+            .max(1.0)
+            .min(bw_core);
+        let mem = if cache_resident {
+            bytes / bw_core
+        } else {
+            bytes / bw_share
+        };
+
+        // No latency term: scatter-side write traffic replaced it above.
+        thread_secs.push(compute.max(mem));
         traffic += bytes;
     }
 
@@ -856,6 +975,75 @@ mod tests {
                 analytic_spmm_peak_bound(&prof, &knc, k)
                     >= analytic_spmm_mb_bound(&prof, &knc, k) - 1e-9
             );
+        }
+    }
+
+    #[test]
+    fn apply_notrans_is_exactly_the_spmm_slice() {
+        let csr = CsrMatrix::from_coo(&g::random_uniform(8_000, 6, 11));
+        use sparseopt_core::kernels::Apply;
+        for p in Platform::paper_platforms() {
+            let prof = profile(&csr, &p);
+            for k in [1usize, 4] {
+                let a = simulate_apply(&prof, &p, &SimKernelConfig::baseline(), k, Apply::NoTrans);
+                let b = simulate_spmm(&prof, &p, &SimKernelConfig::baseline(), k);
+                assert_eq!(a.secs, b.secs, "{} k={k}", p.name);
+                assert_eq!(a.gflops, b.gflops, "{} k={k}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_pays_scatter_traffic_not_gather_latency() {
+        use sparseopt_core::kernels::Apply;
+        let csr = CsrMatrix::from_coo(&g::random_uniform(20_000, 8, 42));
+        let knc = Platform::knc();
+        let prof = profile(&csr, &knc);
+
+        // Zeroing the *irregular* miss subset (the latency term) must not
+        // change the transposed prediction at all: the transpose model has
+        // no gather-latency term to relieve.
+        let mut regular = prof.clone();
+        regular.x_irregular_misses = vec![0; regular.nthreads];
+        let cfg = SimKernelConfig::baseline();
+        let t0 = simulate_apply(&prof, &knc, &cfg, 1, Apply::Trans);
+        let t1 = simulate_apply(&regular, &knc, &cfg, 1, Apply::Trans);
+        assert_eq!(t0.secs, t1.secs, "transpose must be latency-insensitive");
+
+        // The forward model, by contrast, speeds up.
+        let f0 = simulate(&prof, &knc, &cfg);
+        let f1 = simulate_apply(&regular, &knc, &cfg, 1, Apply::NoTrans);
+        assert!(f1.secs < f0.secs, "forward model must lose its stalls");
+
+        // But the miss pattern still costs the transpose something: it
+        // shows up as scatter write traffic instead.
+        let mut no_misses = prof.clone();
+        no_misses.x_misses = vec![0; no_misses.nthreads];
+        no_misses.x_irregular_misses = vec![0; no_misses.nthreads];
+        let t2 = simulate_apply(&no_misses, &knc, &cfg, 1, Apply::Trans);
+        assert!(
+            t2.traffic_bytes < t0.traffic_bytes,
+            "scatter misses must appear as write traffic: {} vs {}",
+            t2.traffic_bytes,
+            t0.traffic_bytes
+        );
+    }
+
+    #[test]
+    fn transpose_per_rhs_time_never_increases() {
+        use sparseopt_core::kernels::Apply;
+        let csr = CsrMatrix::from_coo(&g::banded(150_000, 12));
+        let knc = Platform::knc();
+        let prof = profile(&csr, &knc);
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8, 16] {
+            let r = simulate_apply(&prof, &knc, &SimKernelConfig::baseline(), k, Apply::Trans);
+            let per_rhs = r.secs / k as f64;
+            assert!(
+                per_rhs <= last * (1.0 + 1e-12),
+                "per-RHS transpose time rose at k={k}: {per_rhs} vs {last}"
+            );
+            last = per_rhs;
         }
     }
 

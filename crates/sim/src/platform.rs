@@ -86,8 +86,9 @@ impl Platform {
     }
 
     /// Sustainable bandwidth for a given working-set size, GB/s. The paper
-    /// "adjust[s] the bandwidth upwards for matrices that fit in the system's
-    /// cache hierarchy" — LLC-resident sets get the llc STREAM figure.
+    /// "adjust\[s\] the bandwidth upwards for matrices that fit in the
+    /// system's cache hierarchy" — LLC-resident sets get the llc STREAM
+    /// figure.
     pub fn bandwidth_for_working_set(&self, bytes: usize) -> f64 {
         if bytes <= self.total_cache_bytes() {
             self.bw_llc_gbs

@@ -3,7 +3,7 @@
 use crate::blas::{axpy, dot, norm2};
 use crate::precond::Preconditioner;
 use crate::{SolveOutcome, SolverOptions};
-use sparseopt_core::kernels::SpmvKernel;
+use sparseopt_core::kernels::SparseLinOp;
 
 /// Solves `A x = b` via preconditioned BiCGSTAB. `x` holds the initial guess
 /// on entry and the solution on exit.
@@ -11,7 +11,7 @@ use sparseopt_core::kernels::SpmvKernel;
 /// # Panics
 /// Panics if the operator is not square or vector lengths disagree.
 pub fn bicgstab(
-    a: &dyn SpmvKernel,
+    a: &dyn SparseLinOp,
     b: &[f64],
     x: &mut [f64],
     precond: &dyn Preconditioner,

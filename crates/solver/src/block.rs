@@ -1,4 +1,4 @@
-//! Block-Krylov solvers over any [`SpmmKernel`]: block Conjugate Gradient
+//! Block-Krylov solvers over any [`SparseLinOp`]: block Conjugate Gradient
 //! (O'Leary 1980) and batched multi-RHS BiCGSTAB.
 //!
 //! These are the consumers that justify the SpMM layer: a solve with `k`
@@ -12,7 +12,7 @@
 
 use crate::precond::Preconditioner;
 use crate::SolverOptions;
-use sparseopt_core::kernels::SpmmKernel;
+use sparseopt_core::kernels::SparseLinOp;
 use sparseopt_core::multivec::MultiVec;
 
 /// Result of a block (multi-RHS) solve.
@@ -172,7 +172,7 @@ fn direction_update(p: &mut MultiVec, z: &MultiVec, beta: &[f64]) {
 /// # Panics
 /// Panics if the operator is not square or block shapes disagree.
 pub fn block_cg(
-    a: &dyn SpmmKernel,
+    a: &dyn SparseLinOp,
     b: &MultiVec,
     x: &mut MultiVec,
     precond: &dyn Preconditioner,
@@ -278,7 +278,7 @@ fn col_norm(a: &MultiVec, j: usize) -> f64 {
 /// # Panics
 /// Panics if the operator is not square or block shapes disagree.
 pub fn bicgstab_multi(
-    a: &dyn SpmmKernel,
+    a: &dyn SparseLinOp,
     b: &MultiVec,
     x: &mut MultiVec,
     precond: &dyn Preconditioner,
@@ -468,7 +468,7 @@ mod tests {
     fn block_cg_solves_spd_system() {
         let a = poisson(16, 16);
         let n = a.nrows();
-        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(2));
+        let kernel = ParallelCsr::baseline(a.clone(), ExecCtx::new(2));
         let b = rhs_block(n, 4);
         let mut x = MultiVec::zeros(n, 4);
         let out = block_cg(
@@ -500,7 +500,7 @@ mod tests {
         let a = poisson(12, 12);
         let n = a.nrows();
         let ctx = ExecCtx::new(2);
-        let spmm = CsrSpmm::baseline(a.clone(), ctx.clone());
+        let spmm = ParallelCsr::baseline(a.clone(), ctx.clone());
         let spmv = SerialCsr::new(a.clone());
         let opts = SolverOptions {
             tol: 1e-10,
@@ -527,7 +527,7 @@ mod tests {
         // Two identical columns make the direction block rank-deficient.
         let a = poisson(8, 8);
         let n = a.nrows();
-        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(1));
+        let kernel = ParallelCsr::baseline(a.clone(), ExecCtx::new(1));
         let col: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
         let b = MultiVec::from_columns(&[col.clone(), col]);
         let mut x = MultiVec::zeros(n, 2);
@@ -558,7 +558,7 @@ mod tests {
             }
         }
         let a = Arc::new(CsrMatrix::from_coo(&coo));
-        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(2));
+        let kernel = ParallelCsr::baseline(a.clone(), ExecCtx::new(2));
         let b = rhs_block(n, 5);
         let mut x = MultiVec::zeros(n, 5);
         let out = bicgstab_multi(
@@ -586,7 +586,7 @@ mod tests {
     #[test]
     fn bicgstab_multi_uses_two_spmm_per_iteration() {
         let a = poisson(10, 10);
-        let kernel = CsrSpmm::baseline(a.clone(), ExecCtx::new(1));
+        let kernel = ParallelCsr::baseline(a.clone(), ExecCtx::new(1));
         let n = a.nrows();
         let b = rhs_block(n, 3);
         let mut x = MultiVec::zeros(n, 3);

@@ -4,7 +4,7 @@
 use crate::blas::{axpy, dot, norm2, xpby};
 use crate::precond::Preconditioner;
 use crate::{SolveOutcome, SolverOptions};
-use sparseopt_core::kernels::SpmvKernel;
+use sparseopt_core::kernels::SparseLinOp;
 
 /// Solves `A x = b` for symmetric positive definite `A` via preconditioned
 /// CG. `x` holds the initial guess on entry and the solution on exit.
@@ -12,7 +12,7 @@ use sparseopt_core::kernels::SpmvKernel;
 /// # Panics
 /// Panics if the operator is not square or vector lengths disagree.
 pub fn cg(
-    a: &dyn SpmvKernel,
+    a: &dyn SparseLinOp,
     b: &[f64],
     x: &mut [f64],
     precond: &dyn Preconditioner,

@@ -4,7 +4,7 @@
 //! iteration is one SpMV, so the amortization analysis applies unchanged.
 
 use crate::blas::{dot, norm2, scale};
-use sparseopt_core::kernels::SpmvKernel;
+use sparseopt_core::kernels::SparseLinOp;
 
 /// Result of an eigenvalue iteration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,7 +26,12 @@ pub struct EigenOutcome {
 /// # Panics
 /// Panics if the operator is not square, `v` has the wrong length, or the
 /// start vector is numerically zero.
-pub fn power_method(a: &dyn SpmvKernel, v: &mut [f64], tol: f64, max_iters: usize) -> EigenOutcome {
+pub fn power_method(
+    a: &dyn SparseLinOp,
+    v: &mut [f64],
+    tol: f64,
+    max_iters: usize,
+) -> EigenOutcome {
     let (nrows, ncols) = a.shape();
     assert_eq!(nrows, ncols, "power method needs a square operator");
     assert_eq!(v.len(), nrows, "start vector length mismatch");
@@ -96,7 +101,7 @@ pub fn power_method(a: &dyn SpmvKernel, v: &mut [f64], tol: f64, max_iters: usiz
 /// method on `σI − A` (spectral shift). Useful for predicting CG iteration
 /// counts in the amortization analysis.
 pub fn spd_condition_estimate(
-    a: &dyn SpmvKernel,
+    a: &dyn SparseLinOp,
     tol: f64,
     max_iters: usize,
 ) -> Option<(f64, f64)> {
@@ -111,12 +116,14 @@ pub fn spd_condition_estimate(
     }
     let sigma = top.eigenvalue * 1.0001;
 
-    // Shifted operator σI − A without materializing it.
+    // Shifted operator σI − A without materializing it. Implementing the
+    // full operator trait keeps it composable: (σI − A)ᵀ = σI − Aᵀ for the
+    // square operators this estimate applies to.
     struct Shifted<'k> {
-        inner: &'k dyn SpmvKernel,
+        inner: &'k dyn SparseLinOp,
         sigma: f64,
     }
-    impl SpmvKernel for Shifted<'_> {
+    impl SparseLinOp for Shifted<'_> {
         fn name(&self) -> String {
             format!("shifted({})", self.inner.name())
         }
@@ -126,9 +133,23 @@ pub fn spd_condition_estimate(
         fn nnz(&self) -> usize {
             self.inner.nnz()
         }
-        fn spmv(&self, x: &[f64], y: &mut [f64]) {
-            self.inner.spmv(x, y);
+        fn capabilities(&self) -> sparseopt_core::kernels::OpCapabilities {
+            self.inner.capabilities()
+        }
+        fn apply(&self, op: sparseopt_core::kernels::Apply, x: &[f64], y: &mut [f64]) {
+            self.inner.apply(op, x, y);
             for (yi, xi) in y.iter_mut().zip(x) {
+                *yi = self.sigma * xi - *yi;
+            }
+        }
+        fn apply_multi(
+            &self,
+            op: sparseopt_core::kernels::Apply,
+            x: &sparseopt_core::MultiVec,
+            y: &mut sparseopt_core::MultiVec,
+        ) {
+            self.inner.apply_multi(op, x, y);
+            for (yi, xi) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
                 *yi = self.sigma * xi - *yi;
             }
         }

@@ -4,7 +4,7 @@
 use crate::blas::{dot, norm2, scale};
 use crate::precond::Preconditioner;
 use crate::{SolveOutcome, SolverOptions};
-use sparseopt_core::kernels::SpmvKernel;
+use sparseopt_core::kernels::SparseLinOp;
 
 /// Solves `A x = b` via left-preconditioned restarted GMRES(m).
 /// `x` holds the initial guess on entry and the solution on exit.
@@ -13,7 +13,7 @@ use sparseopt_core::kernels::SpmvKernel;
 /// Panics if the operator is not square, vector lengths disagree, or
 /// `restart == 0`.
 pub fn gmres(
-    a: &dyn SpmvKernel,
+    a: &dyn SparseLinOp,
     b: &[f64],
     x: &mut [f64],
     precond: &dyn Preconditioner,
@@ -211,7 +211,7 @@ mod tests {
         Arc::new(CsrMatrix::from_coo(&coo))
     }
 
-    fn residual(a: &dyn SpmvKernel, b: &[f64], x: &[f64]) -> f64 {
+    fn residual(a: &dyn SparseLinOp, b: &[f64], x: &[f64]) -> f64 {
         let mut ax = vec![0.0; b.len()];
         a.spmv(x, &mut ax);
         b.iter()

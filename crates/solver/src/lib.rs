@@ -1,31 +1,40 @@
 //! # sparseopt-solver
 //!
-//! Krylov iterative solvers over any [`sparseopt_core::kernels::SpmvKernel`]:
-//! preconditioned CG, BiCGSTAB, and restarted GMRES(m), with identity and
-//! Jacobi preconditioners. These are the SpMV consumers the paper's
-//! amortization analysis (Table V) is framed around — "iterative methods for
-//! the solution of large sparse linear systems ... repeatedly call SpMV".
+//! Krylov iterative solvers over any
+//! [`sparseopt_core::kernels::SparseLinOp`]: preconditioned CG, BiCGSTAB,
+//! and restarted GMRES(m), with identity and Jacobi preconditioners. These
+//! are the SpMV consumers the paper's amortization analysis (Table V) is
+//! framed around — "iterative methods for the solution of large sparse
+//! linear systems ... repeatedly call SpMV".
+//!
+//! The operator layer's transposed application unlocks the
+//! transpose-consuming methods: classic [`bicg()`](bicg::bicg) (one `A`
+//! and one `Aᵀ` stream per iteration) and the least-squares solvers
+//! [`lsqr()`](lsqr::lsqr) / [`cgnr`] over rectangular operators.
 //!
 //! The [`block`] module extends the same consumers to the multiple
-//! right-hand-side workload over any
-//! [`sparseopt_core::kernels::SpmmKernel`]: block CG shares one Krylov space
-//! across `k` right-hand sides and batched BiCGSTAB shares the matrix
-//! stream, so each iteration pays for the matrix bytes once instead of `k`
-//! times.
+//! right-hand-side workload over the operators' multi-vector application:
+//! block CG shares one Krylov space across `k` right-hand sides and batched
+//! BiCGSTAB shares the matrix stream, so each iteration pays for the matrix
+//! bytes once instead of `k` times.
 
+pub mod bicg;
 pub mod bicgstab;
 pub mod blas;
 pub mod block;
 pub mod cg;
 pub mod eigen;
 pub mod gmres;
+pub mod lsqr;
 pub mod precond;
 
+pub use bicg::bicg;
 pub use bicgstab::bicgstab;
 pub use block::{bicgstab_multi, block_cg, BlockSolveOutcome};
 pub use cg::cg;
 pub use eigen::{power_method, spd_condition_estimate, EigenOutcome};
 pub use gmres::gmres;
+pub use lsqr::{cgnr, lsqr, NormalOp};
 pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
 
 /// Iteration controls shared by all solvers.

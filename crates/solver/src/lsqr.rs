@@ -1,0 +1,376 @@
+//! Transpose-consuming least-squares solvers: LSQR (Paige & Saunders 1982)
+//! and CGNR (CG over the normal equations).
+//!
+//! These are the solvers the operator layer's transposed application
+//! unlocks: both alternate `A·v` and `Aᵀ·u` every iteration, so they run
+//! over any [`SparseLinOp`] — rectangular operators included — without a
+//! transposed copy of the matrix ever being materialized. Each iteration
+//! streams the matrix exactly twice, which the amortization analysis counts
+//! the same way it counts two SpMV calls.
+
+use crate::blas::{norm2, scale};
+use crate::{SolveOutcome, SolverOptions};
+use sparseopt_core::kernels::{Apply, OpCapabilities, SparseLinOp};
+use sparseopt_core::multivec::MultiVec;
+
+/// Solves `min ‖A·x − b‖₂` via LSQR (algebraically equivalent to CG on the
+/// normal equations but numerically better behaved). Works for square,
+/// overdetermined, and underdetermined operators; `x` holds the initial
+/// guess on entry and the solution on exit.
+///
+/// Convergence is declared when either the residual itself meets the
+/// tolerance (`‖r‖/‖b‖ ≤ tol`, consistent systems) or the normal-equations
+/// residual does (`‖Aᵀr‖ / (‖A‖·‖r‖) ≤ tol`, genuine least-squares
+/// solutions where `‖r‖` stays finite). `spmv_calls` counts both forward
+/// and transposed applications.
+///
+/// # Panics
+/// Panics on operand length mismatch or an operator without transpose
+/// capability.
+pub fn lsqr(a: &dyn SparseLinOp, b: &[f64], x: &mut [f64], opts: &SolverOptions) -> SolveOutcome {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "b length mismatch");
+    assert_eq!(x.len(), n, "x length mismatch");
+    assert!(
+        a.capabilities().transpose,
+        "LSQR needs a transpose-capable operator (see SparseLinOp::capabilities)"
+    );
+
+    let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+
+    // u = b − A x ; β = ‖u‖.
+    let mut u = vec![0.0; m];
+    a.apply(Apply::NoTrans, x, &mut u);
+    for (ui, bi) in u.iter_mut().zip(b) {
+        *ui = bi - *ui;
+    }
+    let mut spmv_calls = 1usize;
+    let mut beta = norm2(&u);
+    if beta <= f64::MIN_POSITIVE {
+        // x already reproduces b exactly.
+        return SolveOutcome::converged(0, 0.0, spmv_calls);
+    }
+    scale(1.0 / beta, &mut u);
+
+    // v = Aᵀ u ; α = ‖v‖.
+    let mut v = vec![0.0; n];
+    a.apply(Apply::Trans, &u, &mut v);
+    spmv_calls += 1;
+    let mut alpha = norm2(&v);
+    if alpha <= f64::MIN_POSITIVE {
+        // b is orthogonal to the range of A: x is already optimal.
+        return SolveOutcome::converged(0, beta / bnorm, spmv_calls);
+    }
+    scale(1.0 / alpha, &mut v);
+
+    let mut w = v.clone();
+    let mut phi_bar = beta;
+    let mut rho_bar = alpha;
+    // Frobenius-norm lower bound accumulated from the bidiagonal entries.
+    let mut anorm_sq = alpha * alpha;
+
+    let mut tmp_m = vec![0.0; m];
+    let mut tmp_n = vec![0.0; n];
+
+    for iter in 1..=opts.max_iters {
+        // Bidiagonalization step: β u ← A v − α u.
+        a.apply(Apply::NoTrans, &v, &mut tmp_m);
+        spmv_calls += 1;
+        for (ui, &ti) in u.iter_mut().zip(&tmp_m) {
+            *ui = ti - alpha * *ui;
+        }
+        beta = norm2(&u);
+        if beta > 0.0 {
+            scale(1.0 / beta, &mut u);
+        }
+
+        // α v ← Aᵀ u − β v.
+        a.apply(Apply::Trans, &u, &mut tmp_n);
+        spmv_calls += 1;
+        for (vi, &ti) in v.iter_mut().zip(&tmp_n) {
+            *vi = ti - beta * *vi;
+        }
+        alpha = norm2(&v);
+        if alpha > 0.0 {
+            scale(1.0 / alpha, &mut v);
+        }
+        anorm_sq += alpha * alpha + beta * beta;
+
+        // Givens rotation eliminating β from the bidiagonal.
+        let rho = rho_bar.hypot(beta);
+        let c = rho_bar / rho;
+        let s = beta / rho;
+        let theta = s * alpha;
+        rho_bar = -c * alpha;
+        let phi = c * phi_bar;
+        phi_bar *= s;
+
+        // x ← x + (φ/ρ) w ; w ← v − (θ/ρ) w.
+        let t1 = phi / rho;
+        let t2 = -theta / rho;
+        for i in 0..n {
+            x[i] += t1 * w[i];
+            w[i] = v[i] + t2 * w[i];
+        }
+
+        // ‖r‖ ≈ φ̄ ; ‖Aᵀr‖ ≈ φ̄ · α · |c|.
+        let rel = phi_bar / bnorm;
+        let normal_rel = (phi_bar * alpha * c.abs())
+            / (anorm_sq.sqrt() * phi_bar.max(f64::MIN_POSITIVE)).max(f64::MIN_POSITIVE);
+        if rel <= opts.tol || normal_rel <= opts.tol {
+            return SolveOutcome::converged(iter, rel, spmv_calls);
+        }
+        if alpha <= f64::MIN_POSITIVE || beta <= f64::MIN_POSITIVE {
+            // Exact termination of the bidiagonalization.
+            return SolveOutcome::converged(iter, rel, spmv_calls);
+        }
+    }
+    SolveOutcome::not_converged(opts.max_iters, phi_bar / bnorm, spmv_calls)
+}
+
+/// The normal-equations operator `AᵀA` as a [`SparseLinOp`], composed from
+/// any inner operator without materializing the (generally much denser)
+/// product. Symmetric by construction, so transposed application is the
+/// forward one; each application streams the inner matrix twice. The
+/// intermediate `A·x` lives in thread-local scratch, so do not nest a
+/// `NormalOp` inside another `NormalOp`.
+pub struct NormalOp<'a> {
+    inner: &'a dyn SparseLinOp,
+}
+
+std::thread_local! {
+    /// Reusable `A·x` intermediate — CG drives one normal-equations
+    /// application per iteration, and the hot loop must not allocate.
+    static NORMAL_TMP: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Multi-vector flavor of the same scratch, reused while the shape
+    /// stays fixed (one solve = one shape).
+    static NORMAL_TMP_MULTI: std::cell::RefCell<Option<MultiVec>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl<'a> NormalOp<'a> {
+    /// Wraps `inner` as `AᵀA`.
+    ///
+    /// # Panics
+    /// Panics if `inner` cannot apply its transpose.
+    pub fn new(inner: &'a dyn SparseLinOp) -> Self {
+        assert!(
+            inner.capabilities().transpose,
+            "NormalOp needs a transpose-capable inner operator"
+        );
+        Self { inner }
+    }
+}
+
+impl SparseLinOp for NormalOp<'_> {
+    fn name(&self) -> String {
+        format!("normal({})", self.inner.name())
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        let (_, n) = self.inner.shape();
+        (n, n)
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    fn capabilities(&self) -> OpCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn apply(&self, _op: Apply, x: &[f64], y: &mut [f64]) {
+        // AᵀA is symmetric: both application modes coincide.
+        let (m, _) = self.inner.shape();
+        NORMAL_TMP.with(|cell| {
+            let mut tmp = cell.borrow_mut();
+            tmp.clear();
+            tmp.resize(m, 0.0);
+            self.inner.apply(Apply::NoTrans, x, &mut tmp);
+            self.inner.apply(Apply::Trans, &tmp, y);
+        });
+    }
+
+    fn apply_multi(&self, _op: Apply, x: &MultiVec, y: &mut MultiVec) {
+        let (m, _) = self.inner.shape();
+        NORMAL_TMP_MULTI.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let reusable =
+                matches!(slot.as_ref(), Some(t) if t.nrows() == m && t.width() == x.width());
+            if !reusable {
+                *slot = Some(MultiVec::zeros(m, x.width()));
+            }
+            let tmp = slot.as_mut().expect("scratch just ensured");
+            self.inner.apply_multi(Apply::NoTrans, x, tmp);
+            self.inner.apply_multi(Apply::Trans, tmp, y);
+        });
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.inner.footprint_bytes()
+    }
+
+    /// Two matrix streams per application.
+    fn flops(&self, k: usize) -> f64 {
+        2.0 * self.inner.flops(k)
+    }
+}
+
+/// Solves `min ‖A·x − b‖₂` via CGNR: plain CG on `AᵀA x = Aᵀ b` through
+/// [`NormalOp`]. Algebraically the same iterates as [`lsqr`] in exact
+/// arithmetic, with the normal equations' squared conditioning — kept as
+/// the simple cross-check the tests pit LSQR against.
+///
+/// The reported `relative_residual` is the CG residual of the *normal*
+/// equations, `‖Aᵀ(b − A x)‖ / ‖Aᵀb‖`; `spmv_calls` counts matrix streams
+/// (two per normal-equations application).
+pub fn cgnr(a: &dyn SparseLinOp, b: &[f64], x: &mut [f64], opts: &SolverOptions) -> SolveOutcome {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "b length mismatch");
+    assert_eq!(x.len(), n, "x length mismatch");
+
+    let normal = NormalOp::new(a);
+    let mut atb = vec![0.0; n];
+    a.apply(Apply::Trans, b, &mut atb);
+    let mut out = crate::cg::cg(&normal, &atb, x, &crate::precond::IdentityPrecond, opts);
+    // Count matrix streams, not operator applications: the initial Aᵀb plus
+    // two streams per normal-equations apply.
+    out.spmv_calls = 2 * out.spmv_calls + 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseopt_core::coo::CooMatrix;
+    use sparseopt_core::csr::CsrMatrix;
+    use sparseopt_core::kernels::SerialCsr;
+    use std::sync::Arc;
+
+    /// Tall sparse "data fitting" operator with full column rank.
+    fn tall_matrix(m: usize, n: usize) -> Arc<CsrMatrix> {
+        let mut coo = CooMatrix::new(m, n);
+        for i in 0..m {
+            let c = i % n;
+            coo.push(i, c, 2.0 + (i % 5) as f64 * 0.25);
+            coo.push(i, (c + 3) % n, -1.0 + (i % 3) as f64 * 0.125);
+        }
+        Arc::new(CsrMatrix::from_coo(&coo))
+    }
+
+    fn normal_residual(a: &dyn SparseLinOp, b: &[f64], x: &[f64]) -> f64 {
+        let (m, n) = a.shape();
+        let mut r = vec![0.0; m];
+        a.apply(Apply::NoTrans, x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let mut atr = vec![0.0; n];
+        a.apply(Apply::Trans, &r, &mut atr);
+        norm2(&atr)
+    }
+
+    #[test]
+    fn lsqr_solves_consistent_square_system() {
+        let mut coo = CooMatrix::new(50, 50);
+        for i in 0..50 {
+            coo.push(i, i, 4.0);
+            if i + 1 < 50 {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -2.0); // asymmetric
+            }
+        }
+        let a = SerialCsr::new(Arc::new(CsrMatrix::from_coo(&coo)));
+        let b = vec![1.0; 50];
+        let mut x = vec![0.0; 50];
+        let out = lsqr(
+            &a,
+            &b,
+            &mut x,
+            &SolverOptions {
+                tol: 1e-12,
+                max_iters: 500,
+            },
+        );
+        assert!(out.converged, "{out:?}");
+        let mut ax = vec![0.0; 50];
+        a.apply(Apply::NoTrans, &x, &mut ax);
+        let res: f64 = b
+            .iter()
+            .zip(&ax)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-8, "true residual {res}");
+    }
+
+    #[test]
+    fn lsqr_finds_least_squares_solution_of_tall_system() {
+        let a_mat = tall_matrix(120, 30);
+        let a = SerialCsr::new(a_mat);
+        let b: Vec<f64> = (0..120).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let mut x = vec![0.0; 30];
+        let out = lsqr(
+            &a,
+            &b,
+            &mut x,
+            &SolverOptions {
+                tol: 1e-12,
+                max_iters: 500,
+            },
+        );
+        assert!(out.converged, "{out:?}");
+        // Optimality: the residual must be orthogonal to the column space.
+        assert!(
+            normal_residual(&a, &b, &x) < 1e-7,
+            "‖Aᵀr‖ = {}",
+            normal_residual(&a, &b, &x)
+        );
+    }
+
+    #[test]
+    fn cgnr_agrees_with_lsqr() {
+        let a_mat = tall_matrix(90, 24);
+        let a = SerialCsr::new(a_mat);
+        let b: Vec<f64> = (0..90).map(|i| (i as f64 * 0.17).sin()).collect();
+        let opts = SolverOptions {
+            tol: 1e-12,
+            max_iters: 500,
+        };
+        let mut x1 = vec![0.0; 24];
+        let o1 = lsqr(&a, &b, &mut x1, &opts);
+        let mut x2 = vec![0.0; 24];
+        let o2 = cgnr(&a, &b, &mut x2, &opts);
+        assert!(o1.converged && o2.converged, "{o1:?} / {o2:?}");
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-6, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = SerialCsr::new(tall_matrix(40, 10));
+        let b = vec![0.0; 40];
+        let mut x = vec![0.0; 10];
+        let out = lsqr(&a, &b, &mut x, &SolverOptions::default());
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn normal_op_is_symmetric() {
+        let a = SerialCsr::new(tall_matrix(30, 8));
+        let normal = NormalOp::new(&a);
+        assert_eq!(normal.shape(), (8, 8));
+        let x: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        let mut y1 = vec![0.0; 8];
+        normal.apply(Apply::NoTrans, &x, &mut y1);
+        let mut y2 = vec![0.0; 8];
+        normal.apply(Apply::Trans, &x, &mut y2);
+        assert_eq!(y1, y2);
+        assert!(normal.name().starts_with("normal("));
+    }
+}

@@ -1,5 +1,5 @@
 //! Preconditioners. The paper motivates the lightweight optimizer with
-//! "preconditioned solvers [where] the number of iterations may be
+//! "preconditioned solvers \[where\] the number of iterations may be
 //! significantly smaller" (Section IV-D); Jacobi is the representative
 //! preconditioner here.
 

@@ -46,7 +46,7 @@ fn main() {
     );
 
     // (b) One block-CG solve over the SpMM kernel.
-    let spmm = CsrSpmm::baseline(a.clone(), ctx.clone());
+    let spmm = ParallelCsr::baseline(a.clone(), ctx.clone());
     let mut x = MultiVec::zeros(n, k);
     let out = block_cg(&spmm, &b, &mut x, &IdentityPrecond, &opts);
     assert!(out.converged, "{out:?}");

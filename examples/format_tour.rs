@@ -10,7 +10,7 @@ use sparseopt::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn time_kernel(k: &dyn SpmvKernel, x: &[f64], y: &mut [f64], reps: usize) -> f64 {
+fn time_kernel(k: &dyn SparseLinOp, x: &[f64], y: &mut [f64], reps: usize) -> f64 {
     k.spmv(x, y);
     let t0 = Instant::now();
     for _ in 0..reps {
@@ -56,9 +56,9 @@ fn main() {
     println!(
         "{:<40} {:>8.3} Gflop/s\n{:<40} {:>8.3} Gflop/s",
         plain.name(),
-        gflops(plain.flops(), t_plain),
+        gflops(plain.flops(1), t_plain),
         compressed.name(),
-        gflops(compressed.flops(), t_comp)
+        gflops(compressed.flops(1), t_comp)
     );
 
     println!("\n== Decomposition (the IMB optimization) on a skewed matrix ==");
@@ -80,9 +80,9 @@ fn main() {
     println!(
         "{:<40} {:>8.3} Gflop/s\n{:<40} {:>8.3} Gflop/s",
         base.name(),
-        gflops(base.flops(), t_base),
+        gflops(base.flops(1), t_base),
         deck.name(),
-        gflops(deck.flops(), t_dec)
+        gflops(deck.flops(1), t_dec)
     );
 
     println!("\n== Kernel configuration space on the banded matrix ==");
@@ -123,7 +123,7 @@ fn main() {
         let t = time_kernel(&k, &x, &mut y, reps);
         println!(
             "{label:<12} {:>8.3} Gflop/s   ({})",
-            gflops(k.flops(), t),
+            gflops(k.flops(1), t),
             k.name()
         );
     }

@@ -36,7 +36,7 @@ fn main() {
     println!(
         "baseline  {:>30}: {:.3} Gflop/s",
         baseline.name(),
-        gflops(baseline.flops(), base_secs)
+        gflops(baseline.flops(1), base_secs)
     );
 
     // Adaptive optimization: classify the matrix's bottlenecks (here on the
@@ -61,7 +61,7 @@ fn main() {
     println!(
         "optimized {:>30}: {:.3} Gflop/s",
         optimized.kernel.name(),
-        gflops(optimized.kernel.flops(), opt_secs)
+        gflops(optimized.kernel.flops(1), opt_secs)
     );
 
     // Both kernels compute the same product.

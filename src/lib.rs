@@ -9,13 +9,13 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`core`] | `sparseopt-core` | formats (CSR, delta-CSR, decomposed CSR), SpMV kernels, partitioners, schedulers, thread pool |
+//! | [`core`] | `sparseopt-core` | formats (CSR, delta-CSR, BCSR, ELL, decomposed CSR), the format-erased `SparseLinOp` operator layer, partitioners, schedulers, thread pool |
 //! | [`matrix`] | `sparseopt-matrix` | synthetic generators, the paper's evaluation/training suites, Matrix Market I/O, Table I features |
 //! | [`sim`] | `sparseopt-sim` | Table III platform models, cache simulator, execution-time model, STREAM micro-benchmark |
 //! | [`ml`] | `sparseopt-ml` | multilabel CART decision tree, metrics, cross-validation, grid search |
 //! | [`classifier`] | `sparseopt-classifier` | bottleneck classes, per-class bounds, profile-/feature-guided classifiers |
 //! | [`optimizer`] | `sparseopt-optimizer` | Table II optimization pool, adaptive/trivial/oracle optimizers, amortization |
-//! | [`solver`] | `sparseopt-solver` | CG, BiCGSTAB, GMRES(m), block CG / batched BiCGSTAB over SpMM, Jacobi preconditioning |
+//! | [`solver`] | `sparseopt-solver` | CG, BiCGSTAB, BiCG, GMRES(m), LSQR/CGNR least squares, block CG / batched BiCGSTAB over the multi-vector path, Jacobi preconditioning |
 //!
 //! ## Quick start
 //!
@@ -56,11 +56,11 @@ pub mod prelude {
     pub use sparseopt_core::prelude::*;
     pub use sparseopt_matrix::{FeatureSet, MatrixFeatures, SuiteMatrix};
     pub use sparseopt_optimizer::{
-        AdaptiveOptimizer, Optimization, OptimizationPlan, SimOptimizerStudy,
+        AdaptiveOptimizer, OpRequirements, Optimization, OptimizationPlan, SimOptimizerStudy,
     };
     pub use sparseopt_sim::Platform;
     pub use sparseopt_solver::{
-        bicgstab, bicgstab_multi, block_cg, cg, gmres, BlockSolveOutcome, IdentityPrecond,
-        JacobiPrecond, SolveOutcome, SolverOptions,
+        bicg, bicgstab, bicgstab_multi, block_cg, cg, cgnr, gmres, lsqr, BlockSolveOutcome,
+        IdentityPrecond, JacobiPrecond, NormalOp, SolveOutcome, SolverOptions,
     };
 }

@@ -122,17 +122,20 @@ fn bicgstab_and_gmres_agree_on_every_kernel() {
 fn spmm_zoo(a: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SpmmKernel>> {
     let threshold = DecomposedCsrMatrix::auto_threshold(a, 4.0);
     vec![
-        Box::new(CsrSpmm::baseline(a.clone(), ctx.clone())),
-        Box::new(DeltaSpmm::baseline(
+        Box::new(ParallelCsr::baseline(a.clone(), ctx.clone())),
+        Box::new(DeltaKernel::baseline(
             Arc::new(DeltaCsrMatrix::from_csr(a)),
             ctx.clone(),
         )),
-        Box::new(BcsrSpmm::new(
+        Box::new(BcsrKernel::new(
             Arc::new(BcsrMatrix::from_csr(a, 2, 2)),
             ctx.clone(),
         )),
-        Box::new(EllSpmm::new(Arc::new(EllMatrix::from_csr(a)), ctx.clone())),
-        Box::new(DecomposedSpmm::baseline(
+        Box::new(EllKernel::new(
+            Arc::new(EllMatrix::from_csr(a)),
+            ctx.clone(),
+        )),
+        Box::new(DecomposedKernel::baseline(
             Arc::new(DecomposedCsrMatrix::from_csr(a, threshold)),
             ctx.clone(),
         )),
@@ -219,7 +222,7 @@ fn bicgstab_multi_matches_sequential_bicgstab() {
     let b = MultiVec::from_fn(n, k, |i, j| ((i + j * 5) % 9) as f64 / 4.0 - 1.0);
 
     let spmv = SerialCsr::new(a.clone());
-    let kernel = CsrSpmm::baseline(a.clone(), ctx);
+    let kernel = ParallelCsr::baseline(a.clone(), ctx);
     let mut x = MultiVec::zeros(n, k);
     let out = bicgstab_multi(&kernel, &b, &mut x, &JacobiPrecond::new(&a), &opts);
     assert!(out.converged, "{out:?}");
@@ -231,6 +234,101 @@ fn bicgstab_multi_matches_sequential_bicgstab() {
         assert!(single.converged, "column {j}: {single:?}");
         for (p, q) in x.column(j).iter().zip(&xj) {
             assert!((p - q).abs() < 1e-5, "column {j}: {p} vs {q}");
+        }
+    }
+}
+
+/// Rectangular (overdetermined) data-fitting operator with full column
+/// rank, as raw CSR.
+fn rectangular_system(m: usize, n: usize) -> (Arc<CsrMatrix>, Vec<f64>) {
+    let mut coo = CooMatrix::new(m, n);
+    for i in 0..m {
+        let c = i % n;
+        coo.push(i, c, 2.0 + (i % 5) as f64 * 0.25);
+        coo.push(i, (c + 3) % n, -1.0 + (i % 3) as f64 * 0.125);
+        coo.push(i, (c + 7) % n, 0.5);
+    }
+    let b: Vec<f64> = (0..m).map(|i| ((i * 5 % 17) as f64) / 4.0 - 2.0).collect();
+    (Arc::new(CsrMatrix::from_coo(&coo)), b)
+}
+
+#[test]
+fn bicg_converges_identically_on_every_kernel() {
+    // The classic transpose-consuming Krylov method must agree with
+    // BiCGSTAB over every operator implementation — forward and transposed
+    // paths of each format both feed the same recurrence.
+    let (a, b) = nonsym_system(400);
+    let ctx = ExecCtx::new(3);
+    let opts = SolverOptions {
+        tol: 1e-10,
+        max_iters: 2000,
+    };
+
+    let mut reference: Option<Vec<f64>> = None;
+    for kernel in kernel_zoo(&a, &ctx) {
+        let mut x = vec![0.0f64; a.nrows()];
+        let out = bicg(kernel.as_ref(), &b, &mut x, &JacobiPrecond::new(&a), &opts);
+        assert!(out.converged, "bicg/{}: {out:?}", kernel.name());
+        // One forward + one transposed stream per iteration + the residual.
+        assert_eq!(out.spmv_calls, 2 * out.iterations + 1, "{}", kernel.name());
+        match &reference {
+            None => reference = Some(x),
+            Some(r) => {
+                for (p, q) in x.iter().zip(r) {
+                    assert!((p - q).abs() < 1e-5, "{}: {p} vs {q}", kernel.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lsqr_and_cgnr_solve_rectangular_least_squares_on_every_kernel() {
+    let (a, b) = rectangular_system(150, 40);
+    let ctx = ExecCtx::new(2);
+    let opts = SolverOptions {
+        tol: 1e-12,
+        max_iters: 1000,
+    };
+
+    // Reference optimality residual: ‖Aᵀ(b − A x)‖ must vanish.
+    let normal_residual = |op: &dyn SparseLinOp, x: &[f64]| -> f64 {
+        let mut r = vec![0.0; 150];
+        op.apply(Apply::NoTrans, x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(&b) {
+            *ri = bi - *ri;
+        }
+        let mut atr = vec![0.0; 40];
+        op.apply(Apply::Trans, &r, &mut atr);
+        atr.iter().map(|v| v * v).sum::<f64>().sqrt()
+    };
+
+    let mut reference: Option<Vec<f64>> = None;
+    for kernel in kernel_zoo(&a, &ctx) {
+        let mut x = vec![0.0f64; 40];
+        let out = lsqr(kernel.as_ref(), &b, &mut x, &opts);
+        assert!(out.converged, "lsqr/{}: {out:?}", kernel.name());
+        let nres = normal_residual(kernel.as_ref(), &x);
+        assert!(nres < 1e-6, "{}: ‖Aᵀr‖ = {nres}", kernel.name());
+
+        let mut xc = vec![0.0f64; 40];
+        let outc = cgnr(kernel.as_ref(), &b, &mut xc, &opts);
+        assert!(outc.converged, "cgnr/{}: {outc:?}", kernel.name());
+        for (p, q) in x.iter().zip(&xc) {
+            assert!(
+                (p - q).abs() < 1e-6,
+                "{}: lsqr {p} vs cgnr {q}",
+                kernel.name()
+            );
+        }
+
+        match &reference {
+            None => reference = Some(x),
+            Some(r) => {
+                for (p, q) in x.iter().zip(r) {
+                    assert!((p - q).abs() < 1e-6, "{}: {p} vs {q}", kernel.name());
+                }
+            }
         }
     }
 }

@@ -10,8 +10,9 @@ use sparseopt::prelude::*;
 use std::sync::Arc;
 
 /// Right-hand sides every case is checked against: the degenerate k = 1,
-/// a width below the register tile, and a full tile.
-const WIDTHS: [usize; 3] = [1, 3, 8];
+/// a width below the register tile, a full tile, and a full tile plus a
+/// partial remainder (the `t0 > 0` offset arithmetic of the row pass).
+const WIDTHS: [usize; 4] = [1, 3, 8, 11];
 
 /// Dense reference for one column: `y = A·x` accumulated straight from the
 /// raw triplets, independent of every sparse format under test.
@@ -59,26 +60,30 @@ fn spmm_zoo(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SpmmKernel>
         Schedule::Guided { min_chunk: 2 },
         Schedule::Auto,
     ] {
-        zoo.push(Box::new(CsrSpmm::new(csr.clone(), schedule, ctx.clone())));
+        zoo.push(Box::new(ParallelCsr::with_schedule(
+            csr.clone(),
+            schedule,
+            ctx.clone(),
+        )));
     }
     for width in [DeltaWidth::U8, DeltaWidth::U16] {
-        zoo.push(Box::new(DeltaSpmm::baseline(
+        zoo.push(Box::new(DeltaKernel::baseline(
             Arc::new(DeltaCsrMatrix::from_csr_with_width(csr, width)),
             ctx.clone(),
         )));
     }
     for (br, bc) in [(1, 1), (2, 2), (2, 3), (4, 4)] {
-        zoo.push(Box::new(BcsrSpmm::new(
+        zoo.push(Box::new(BcsrKernel::new(
             Arc::new(BcsrMatrix::from_csr(csr, br, bc)),
             ctx.clone(),
         )));
     }
-    zoo.push(Box::new(EllSpmm::new(
+    zoo.push(Box::new(EllKernel::new(
         Arc::new(EllMatrix::from_csr(csr)),
         ctx.clone(),
     )));
     for threshold in [1usize, 4, 1000] {
-        zoo.push(Box::new(DecomposedSpmm::baseline(
+        zoo.push(Box::new(DecomposedKernel::baseline(
             Arc::new(DecomposedCsrMatrix::from_csr(csr, threshold)),
             ctx.clone(),
         )));
@@ -164,7 +169,7 @@ proptest! {
 
         let xm = MultiVec::from_columns(&[x]);
         let mut ym = MultiVec::zeros(n, 1);
-        CsrSpmm::baseline(csr, ctx).spmm(&xm, &mut ym);
+        ParallelCsr::baseline(csr, ctx).spmm(&xm, &mut ym);
         for (i, (a, b)) in ym.column(0).iter().zip(&y_spmv).enumerate() {
             prop_assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "row {i}: {a} vs {b}");
         }

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: an exact size or a range of sizes.
+/// Length specification for [`vec()`]: an exact size or a range of sizes.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -48,7 +48,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

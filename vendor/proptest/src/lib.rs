@@ -1,9 +1,11 @@
 //! Minimal offline stand-in for the crates-io `proptest` crate.
 //!
-//! Supports the subset this workspace's property tests use: the [`Strategy`]
-//! trait with `prop_map`/`prop_flat_map`, range and tuple strategies,
-//! [`collection::vec`], [`any`], [`Just`], `ProptestConfig::with_cases`, the
-//! `proptest!` macro (including the `#![proptest_config(..)]` header), and
+//! Supports the subset this workspace's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`collection::vec()`],
+//! [`any`](strategy::any), [`Just`](strategy::Just),
+//! `ProptestConfig::with_cases`, the `proptest!` macro (including the
+//! `#![proptest_config(..)]` header), and
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`.
 //!
 //! Differences from upstream, by design:
