@@ -1,37 +1,61 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints (warnings are errors), the full test pyramid,
-# and compile-checks for benches + examples. Run from the repo root.
+# CI gate with two profiles (default: full). Run from the repo root.
+#
+#   ci.sh fast — the edit loop gate: formatting, lints (warnings are
+#                errors), and the debug test pyramid.
+#   ci.sh full — everything in fast plus the docs tier, release-mode tests,
+#                bench compile + smoke run, examples, and the
+#                bench-regression gate (ci_bench: writes BENCH_PR4.json and
+#                fails on >15% Gflop/s regression vs BENCH_BASELINE.json).
+#
+# Per-tier wall-clock timings are printed at the end of the run.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+mode="${1:-full}"
+case "$mode" in
+  fast|full) ;;
+  *) echo "usage: $0 [fast|full]" >&2; exit 2 ;;
+esac
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+tier_names=()
+tier_secs=()
+tier() {
+  local name="$1"; shift
+  echo "==> $name"
+  local t0=$SECONDS
+  "$@"
+  tier_names+=("$name")
+  tier_secs+=("$((SECONDS - t0))")
+}
 
-echo "==> RUSTDOCFLAGS=-D warnings cargo doc --workspace --no-deps"
-# Docs tier: broken intra-doc links and malformed rustdoc are errors, so
-# the API reference (the operator-layer contract lives there) cannot rot.
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+doc_tier() {
+  # Docs tier: broken intra-doc links and malformed rustdoc are errors, so
+  # the API reference (the operator-layer contract lives there) cannot rot.
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+}
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+tier "fmt"              cargo fmt --check
+tier "clippy"           cargo clippy --workspace --all-targets -- -D warnings
+tier "test (debug)"     cargo test --workspace -q
 
-echo "==> cargo test --workspace --release -q"
-# Release tier: the kernel property suites must also hold under full
-# optimization (SIMD paths, FMA contraction, aggressive inlining).
-cargo test --workspace --release -q
+if [ "$mode" = full ]; then
+  tier "rustdoc"        doc_tier
+  # Release tier: the kernel property suites must also hold under full
+  # optimization (SIMD paths, FMA contraction, aggressive inlining).
+  tier "test (release)" cargo test --workspace --release -q
+  tier "bench build"    cargo bench --workspace --no-run
+  # Compile-and-run-once over the whole bench suite so new kernels cannot
+  # silently rot: a panicking or mis-wired benchmark fails CI here.
+  tier "bench smoke"    cargo bench --workspace -- --test
+  tier "examples"       cargo build --examples
+  # Perf gate: pinned micro-suite vs the committed baseline trajectory.
+  tier "bench gate"     cargo run --release -q -p sparseopt-bench --bin ci_bench
+fi
 
-echo "==> cargo bench --workspace --no-run"
-cargo bench --workspace --no-run
-
-echo "==> cargo bench --workspace -- --test (smoke run: every benchmark once)"
-# Compile-and-run-once over the whole bench suite so new kernels cannot
-# silently rot: a panicking or mis-wired benchmark fails CI here.
-cargo bench --workspace -- --test
-
-echo "==> cargo build --examples"
-cargo build --examples
-
-echo "CI green."
+echo
+echo "Tier timings ($mode):"
+for i in "${!tier_names[@]}"; do
+  printf '  %-16s %4ss\n' "${tier_names[$i]}" "${tier_secs[$i]}"
+done
+echo "CI green ($mode)."

@@ -1,0 +1,73 @@
+//! Criterion group for the merge-path nonzero-split operator: `MergeCsr`
+//! against every whole-row CSR schedule (and the long-row decomposition) on
+//! the residual-IMB acceptance shape — a power-law matrix whose hub row
+//! holds ≥ 30% of all nonzeros — plus a uniform matrix where the nonzero
+//! split buys nothing and must merely not lose.
+//!
+//! On multi-core hosts the merge group's wall clock demonstrates the
+//! whole-row collapse directly; `ci_bench` turns the same comparison into a
+//! hard CI gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::generators as g;
+use std::sync::Arc;
+
+fn bench_merge_spmv(c: &mut Criterion) {
+    let ctx = ExecCtx::host();
+    let cases: Vec<(&str, Arc<CsrMatrix>)> = vec![
+        (
+            "powerlaw-hub-8k",
+            Arc::new(CsrMatrix::from_coo(&g::power_law_hub(8192, 2, 11))),
+        ),
+        (
+            "uniform-8k-d8",
+            Arc::new(CsrMatrix::from_coo(&g::random_uniform(8192, 8, 1))),
+        ),
+    ];
+
+    for (name, csr) in &cases {
+        let mut group = c.benchmark_group(format!("merge_spmv/{name}"));
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.sample_size(20);
+
+        let x = vec![1.0f64; csr.ncols()];
+        let mut y = vec![0.0f64; csr.nrows()];
+
+        for schedule in [
+            Schedule::StaticRows,
+            Schedule::StaticNnz,
+            Schedule::Dynamic { chunk: 64 },
+            Schedule::Guided { min_chunk: 4 },
+            Schedule::Auto,
+        ] {
+            let label = schedule.label();
+            let k = ParallelCsr::with_schedule(csr.clone(), schedule, ctx.clone());
+            group.bench_function(BenchmarkId::new("whole-row", label), |b| {
+                b.iter(|| k.spmv(&x, &mut y))
+            });
+        }
+
+        let threshold = DecomposedCsrMatrix::auto_threshold(csr, 4.0);
+        let dec = DecomposedKernel::baseline(
+            Arc::new(DecomposedCsrMatrix::from_csr(csr, threshold)),
+            ctx.clone(),
+        );
+        group.bench_function("decomposed", |b| b.iter(|| dec.spmv(&x, &mut y)));
+
+        let merge = MergeCsr::baseline(csr.clone(), ctx.clone());
+        group.bench_function("merge", |b| b.iter(|| merge.spmv(&x, &mut y)));
+
+        // The multi-vector path shares the carry machinery: exercise it.
+        let xm = MultiVec::from_fn(csr.ncols(), 8, |i, j| {
+            0.5 + ((i * 7 + j) as f64 * 0.19).sin()
+        });
+        let mut ym = MultiVec::zeros(csr.nrows(), 8);
+        group.bench_function("merge-spmm-k8", |b| b.iter(|| merge.spmm(&xm, &mut ym)));
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_merge_spmv);
+criterion_main!(benches);

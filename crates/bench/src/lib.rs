@@ -11,9 +11,12 @@
 //! | `table4` | Table IV — feature-guided classifier LOO accuracy |
 //! | `table5` | Table V — amortization iteration counts on KNL |
 //! | `tune` | Fig. 4 hyperparameter grid search (`T_ML`, `T_IMB`) |
+//! | `ci_bench` | bench-regression gate: pinned micro-suite → `BENCH_PR4.json`, fails on >15% regression vs the committed baseline |
 //!
 //! The `benches/` directory holds criterion micro-benchmarks of the real
-//! host kernels (timing on this machine, not the modeled platforms).
+//! host kernels (timing on this machine, not the modeled platforms),
+//! including the `merge_spmv` group comparing the merge-path operator
+//! against every whole-row schedule.
 
 pub mod labeling;
 pub mod report;

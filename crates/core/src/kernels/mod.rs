@@ -19,6 +19,7 @@ mod csr;
 mod decomposed;
 mod delta;
 mod linop;
+mod merge;
 mod microbench;
 mod rowprim;
 mod slab;
@@ -29,6 +30,7 @@ pub use decomposed::DecomposedKernel;
 pub use delta::DeltaKernel;
 pub(crate) use linop::{check_apply_multi_operands, check_apply_operands};
 pub use linop::{Apply, OpCapabilities, SparseLinOp};
+pub use merge::MergeCsr;
 pub use microbench::{regularize_colind, UnitStrideCsr};
 pub use rowprim::{row_dot, InnerLoop, SPMM_COL_TILE};
 pub use slab::{BcsrKernel, EllKernel};

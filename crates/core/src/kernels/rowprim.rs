@@ -51,6 +51,31 @@ pub(crate) unsafe fn row_spmm_write(
     }
 }
 
+/// Partial-row variant of the multi-vector row pass used by the merge-path
+/// kernel: accumulates `Σ_j vals[j] · X[cols[j], ·]` **into** `out` (length
+/// `k`) instead of overwriting an output row, so a row split across merge
+/// segments can be reconciled additively in the carry fix-up.
+#[inline]
+pub(crate) fn row_spmm_acc(cols: &[u32], vals: &[f64], xs: &[f64], k: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), k);
+    let mut t0 = 0;
+    while t0 < k {
+        let tl = (k - t0).min(SPMM_COL_TILE);
+        let mut acc = [0.0f64; SPMM_COL_TILE];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let base = c as usize * k + t0;
+            let xr = &xs[base..base + tl];
+            for (a, &xv) in acc[..tl].iter_mut().zip(xr) {
+                *a += v * xv;
+            }
+        }
+        for (o, &a) in out[t0..t0 + tl].iter_mut().zip(&acc[..tl]) {
+            *o += a;
+        }
+        t0 += tl;
+    }
+}
+
 /// Inner-loop flavor of a CSR-family kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum InnerLoop {

@@ -15,12 +15,14 @@
 //!   [`kernels::SparseLinOp`] implementation per storage format, each
 //!   covering the `{NoTrans, Trans} × {vector, multi-vector}` application
 //!   space (Fig. 2 baseline, Table II optimizations, Section III-B
-//!   micro-benchmarks).
+//!   micro-benchmarks), plus the merge-path nonzero-split
+//!   [`kernels::MergeCsr`] operator for residually imbalanced matrices.
 //! - [`multivec`] — dense row-major multi-vector (`X ∈ R^{n×k}`) backing the
 //!   multiple-right-hand-side workload; each fetched nonzero is reused `k`
 //!   times, amortizing the matrix stream.
-//! - [`partition`] / [`schedule`] / [`pool`] — row partitioning, loop
-//!   scheduling policies, and the timed thread pool.
+//! - [`partition`] / [`schedule`] / [`pool`] — whole-row and merge-path
+//!   (nonzero-split) partitioning, loop scheduling policies, and the timed
+//!   thread pool.
 //!
 //! ## Quick start
 //!
@@ -62,11 +64,11 @@ pub mod prelude {
     pub use crate::ell::EllMatrix;
     pub use crate::kernels::{
         gflops, Apply, BcsrKernel, CsrKernelConfig, DecomposedKernel, DeltaKernel, EllKernel,
-        InnerLoop, OpCapabilities, ParallelCsr, SerialCsr, SparseLinOp, SpmmKernel, SpmvKernel,
-        UnitStrideCsr,
+        InnerLoop, MergeCsr, OpCapabilities, ParallelCsr, SerialCsr, SparseLinOp, SpmmKernel,
+        SpmvKernel, UnitStrideCsr,
     };
     pub use crate::multivec::MultiVec;
-    pub use crate::partition::Partition;
+    pub use crate::partition::{MergeSegment, Partition, Partition2d};
     pub use crate::pool::ExecCtx;
     pub use crate::schedule::Schedule;
 }

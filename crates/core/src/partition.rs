@@ -1,9 +1,16 @@
-//! One-dimensional row partitioning schemes.
+//! One- and two-dimensional work partitioning schemes.
 //!
 //! The paper's baseline uses "a static one-dimensional row partitioning
 //! scheme, where each partition has approximately equal number of nonzero
 //! elements and is assigned to a single thread" (Section IV-A). The MKL-like
 //! baseline instead splits by row count, which is what exposes the IMB class.
+//!
+//! Whole-row partitions cannot balance a matrix whose single row outweighs a
+//! thread's quota — the residual IMB case. [`Partition2d`] removes that
+//! limit with the merge-path decomposition (Merrill & Garland's merge-based
+//! CSR): the (row-pointer, nonzero) merge diagonal is cut into equal-work
+//! segments that may split *inside* a row, so per-thread work is balanced to
+//! within one work item regardless of the row-length distribution.
 
 use crate::csr::CsrMatrix;
 use std::ops::Range;
@@ -63,6 +70,17 @@ impl Partition {
         assert!(nparts > 0, "need at least one partition");
         assert!(!rowptr.is_empty(), "rowptr must have at least one entry");
         let nrows = rowptr.len() - 1;
+        // Degenerate case: more partitions than rows. Rows are indivisible
+        // here, so the best any 1-D split can do is one row per leading
+        // partition with trailing empty ranges — produced explicitly so
+        // callers never need to clamp `nparts` (the greedy scan below would
+        // instead let its take-at-least-one-row rule swallow runs of empty
+        // rows into the first partition).
+        if nparts > nrows {
+            let mut ranges: Vec<Range<usize>> = (0..nrows).map(|r| r..r + 1).collect();
+            ranges.resize(nparts, nrows..nrows);
+            return Self::from_ranges(nrows, ranges);
+        }
         let total = rowptr[nrows];
         let row_nnz = |i: usize| rowptr[i + 1] - rowptr[i];
         let mut ranges = Vec::with_capacity(nparts);
@@ -137,6 +155,161 @@ impl Partition {
     }
 }
 
+/// One thread's share of a merge-path decomposition: the rows whose *end*
+/// the segment owns (it writes their output entries) plus the exact nonzero
+/// range it consumes.
+///
+/// Unlike [`Partition`] ranges, a segment's nonzero range may start or end
+/// in the middle of a row: the leading row continues a previous segment's
+/// row (that segment's carry-out lands there in the fix-up pass), and any
+/// nonzeros past the last owned row are this segment's own carry-out into
+/// `rows.end`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeSegment {
+    /// Rows whose end marker this segment consumes — the rows it writes.
+    pub rows: Range<usize>,
+    /// Nonzero indices this segment consumes.
+    pub nnz: Range<usize>,
+}
+
+impl MergeSegment {
+    /// Total merge work items (row ends + nonzeros) in the segment.
+    #[inline]
+    pub fn work(&self) -> usize {
+        self.rows.len() + self.nnz.len()
+    }
+}
+
+/// A two-dimensional nonzero-split partition over the CSR merge path
+/// (Merrill & Garland, *Merge-based parallel sparse matrix-vector
+/// multiplication*, SC'16).
+///
+/// The kernel's total work is modeled as the merge of two sorted lists —
+/// the `nrows` row-end offsets `rowptr[1..]` and the `nnz` nonzero indices.
+/// Cutting the merge at equally spaced diagonals yields `nparts` segments
+/// whose work differs by at most one item, *even when a single row holds
+/// most of the matrix*: the cut simply lands inside the row and the
+/// consumer reconciles the partial sums in a carry fix-up pass (see
+/// `kernels::MergeCsr`).
+///
+/// Invariants (checked by debug assertions and property tests): nonzero
+/// ranges are contiguous, disjoint and cover `0..nnz`; row ranges likewise
+/// cover `0..nrows`; and every segment's coordinates lie on the merge path
+/// (`rowptr[rows.start] <= nnz.start <= rowptr[rows.start + 1]`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition2d {
+    segments: Vec<MergeSegment>,
+    nrows: usize,
+    nnz: usize,
+}
+
+impl Partition2d {
+    /// Cuts the merge path of `rowptr` into `nparts` equal-work segments.
+    /// Cost: `O(nparts · log nrows)` — two binary searches per boundary.
+    pub fn merge_path(rowptr: &[usize], nparts: usize) -> Self {
+        assert!(nparts > 0, "need at least one segment");
+        assert!(!rowptr.is_empty(), "rowptr must have at least one entry");
+        let nrows = rowptr.len() - 1;
+        let nnz = rowptr[nrows];
+        let total = nrows + nnz;
+        let mut cuts = Vec::with_capacity(nparts + 1);
+        for p in 0..=nparts {
+            // Diagonal p·total/nparts, split into (rows consumed, nnz
+            // consumed) by binary search along the merge.
+            cuts.push(merge_path_search(rowptr, p * total / nparts));
+        }
+        let segments = cuts
+            .windows(2)
+            .map(|w| MergeSegment {
+                rows: w[0].0..w[1].0,
+                nnz: w[0].1..w[1].1,
+            })
+            .collect();
+        Self {
+            segments,
+            nrows,
+            nnz,
+        }
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when there are no segments (never produced by `merge_path`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Segment `p`.
+    #[inline]
+    pub fn segment(&self, p: usize) -> &MergeSegment {
+        &self.segments[p]
+    }
+
+    /// All segments.
+    #[inline]
+    pub fn segments(&self) -> &[MergeSegment] {
+        &self.segments
+    }
+
+    /// Rows covered (the stored matrix's row count).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Nonzeros covered.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Work-imbalance factor `max(work_p) / mean(work_p)`; the merge-path
+    /// construction bounds this by `1 + nparts/total`, i.e. essentially 1.
+    pub fn imbalance_factor(&self) -> f64 {
+        let max = self
+            .segments
+            .iter()
+            .map(MergeSegment::work)
+            .max()
+            .unwrap_or(0) as f64;
+        let mean = (self.nrows + self.nnz) as f64 / self.segments.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Finds the merge-path split of diagonal `d`: the `(rows, nnz)` pair with
+/// `rows + nnz = d` such that consuming that many items of each list is
+/// consistent with the merge order (row-end `i` is consumed once all of row
+/// `i`'s nonzeros are).
+fn merge_path_search(rowptr: &[usize], d: usize) -> (usize, usize) {
+    let nrows = rowptr.len() - 1;
+    let nnz = rowptr[nrows];
+    let mut lo = d.saturating_sub(nnz);
+    let mut hi = d.min(nrows);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // Consume row-end `mid` iff all its nonzeros fit before diagonal d:
+        // rowptr[mid + 1] <= d - mid - 1.
+        if rowptr[mid + 1] + mid < d {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    debug_assert!(rowptr[lo] <= d - lo, "split below the merge path");
+    debug_assert!(lo == nrows || d - lo <= rowptr[lo + 1], "split above path");
+    (lo, d - lo)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +377,104 @@ mod tests {
     #[should_panic(expected = "cover all rows")]
     fn from_ranges_validates_cover() {
         Partition::from_ranges(4, std::iter::once(0..2).collect());
+    }
+
+    #[test]
+    fn by_nnz_more_parts_than_rows_yields_trailing_empties() {
+        // Regression: callers used to have to clamp nparts themselves; now
+        // the degenerate split is one row per leading partition + empty tail.
+        let m = ragged(3, &[5, 1, 9]);
+        let p = Partition::by_nnz(&m, 7);
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.ranges()[..3], [0..1, 1..2, 2..3]);
+        for tail in &p.ranges()[3..] {
+            assert_eq!(tail.clone(), 3..3, "tail ranges must be empty");
+        }
+        let total: usize = p.nnz_per_part(&m).iter().sum();
+        assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn by_rowptr_all_empty_rows_more_parts_than_rows() {
+        // Empty rows used to be swallowed whole by the first partition's
+        // take-at-least-one-row rule; the degenerate path spreads them.
+        let p = Partition::by_rowptr(&[0, 0, 0], 4);
+        assert_eq!(p.ranges(), &[0..1, 1..2, 2..2, 2..2]);
+    }
+
+    fn check_merge_invariants(rowptr: &[usize], nparts: usize) -> Partition2d {
+        let p = Partition2d::merge_path(rowptr, nparts);
+        assert_eq!(p.len(), nparts);
+        let nrows = rowptr.len() - 1;
+        let nnz = rowptr[nrows];
+        let (mut row, mut nz) = (0usize, 0usize);
+        for seg in p.segments() {
+            assert_eq!(seg.rows.start, row, "row ranges must be contiguous");
+            assert_eq!(seg.nnz.start, nz, "nnz ranges must be contiguous");
+            // The segment boundary sits on the merge path: its first nonzero
+            // belongs to the row it starts in (or that row's end).
+            assert!(rowptr[seg.rows.start] <= seg.nnz.start);
+            if seg.rows.start < nrows {
+                assert!(seg.nnz.start <= rowptr[seg.rows.start + 1]);
+            }
+            row = seg.rows.end;
+            nz = seg.nnz.end;
+        }
+        assert_eq!(row, nrows, "segments must cover all rows");
+        assert_eq!(nz, nnz, "segments must cover all nonzeros");
+        // Equal-work guarantee: no segment exceeds the ceiling diagonal step.
+        let step = (nrows + nnz).div_ceil(nparts);
+        for seg in p.segments() {
+            assert!(
+                seg.work() <= step + 1,
+                "segment work {} > {step}",
+                seg.work()
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn merge_path_balances_dominant_row() {
+        // One row holds 100 of 107 nonzeros: whole-row partitioning is stuck
+        // at imbalance > 3 (see above); the merge path stays at ~1.
+        let m = ragged(8, &[1, 1, 1, 100, 1, 1, 1, 1]);
+        let p = check_merge_invariants(m.rowptr(), 4);
+        assert!(
+            p.imbalance_factor() < 1.1,
+            "merge path must balance within one item, got {}",
+            p.imbalance_factor()
+        );
+        // The dominant row is split across several segments.
+        let spanning = p
+            .segments()
+            .iter()
+            .filter(|s| s.nnz.start < m.rowptr()[4] && s.nnz.end > m.rowptr()[3])
+            .count();
+        assert!(spanning >= 3, "mega row must span segments, got {spanning}");
+    }
+
+    #[test]
+    fn merge_path_edge_shapes() {
+        // Empty matrix.
+        let p = Partition2d::merge_path(&[0], 3);
+        assert_eq!(p.len(), 3);
+        assert!(p.segments().iter().all(|s| s.work() == 0));
+        // All-empty rows: work is the row ends only.
+        check_merge_invariants(&[0, 0, 0, 0], 2);
+        // More parts than total work items.
+        check_merge_invariants(&[0, 1, 2], 16);
+        // Single row holding everything.
+        check_merge_invariants(&[0, 64], 4);
+    }
+
+    #[test]
+    fn merge_path_uniform_matches_row_split() {
+        let m = ragged(16, &[4; 16]);
+        let p = check_merge_invariants(m.rowptr(), 4);
+        for seg in p.segments() {
+            assert_eq!(seg.rows.len(), 4, "uniform rows split evenly");
+            assert_eq!(seg.nnz.len(), 16);
+        }
     }
 }

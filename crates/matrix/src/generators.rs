@@ -13,6 +13,7 @@
 //! | [`blocked_fem`] | small dense blocks on a band | MB/CMP |
 //! | [`random_uniform`] | uniformly scattered columns | ML |
 //! | [`power_law`] | scale-free degree distribution | ML + IMB |
+//! | [`power_law_hub`] | power-law background + one full hub row | IMB (residual) |
 //! | [`few_dense_rows`] | sparse background + mega rows | IMB + CMP |
 //! | [`rmat`] | recursively skewed web/social graph | ML + IMB |
 //! | [`diagonal`] | single diagonal | — (short rows) |
@@ -204,6 +205,22 @@ pub fn power_law(n: usize, avg_nnz_per_row: usize, alpha: f64, seed: u64) -> Coo
     coo
 }
 
+/// Power-law matrix with a single dominant hub: the [`power_law`] background
+/// plus one completely full row at a scattered position. With the default
+/// background weight of `avg_nnz_per_row` entries per row, the hub holds at
+/// least `1 / (1 + avg_nnz_per_row)` of all nonzeros (≥ 1/3 at
+/// `avg_nnz_per_row = 2`) — the residual-IMB shape where *no* whole-row
+/// partition can balance the hub and only a nonzero split (merge-path CSR)
+/// restores balance.
+pub fn power_law_hub(n: usize, avg_nnz_per_row: usize, seed: u64) -> CooMatrix {
+    let mut coo = power_law(n, avg_nnz_per_row, 0.9, seed);
+    let hub = scatter_index(n / 2, n);
+    for j in 0..n {
+        coo.push(hub, j, value_for(hub, j));
+    }
+    coo
+}
+
 /// Deterministic pseudo-random permutation of `[0, n)` via multiplication by
 /// a fixed prime (coprime to any `n` it does not divide; fall back to
 /// identity+offset otherwise). Spreads degree-sorted structures through the
@@ -357,6 +374,18 @@ mod tests {
         let max = *lens.iter().max().unwrap();
         let avg = m.nnz() as f64 / 1000.0;
         assert!(max as f64 > 10.0 * avg, "max {max} should dwarf avg {avg}");
+    }
+
+    #[test]
+    fn power_law_hub_dominates_total_nnz() {
+        let m = CsrMatrix::from_coo(&power_law_hub(2000, 2, 7));
+        let max = (0..2000).map(|i| m.row_nnz(i)).max().unwrap();
+        assert_eq!(max, 2000, "hub row must be full");
+        assert!(
+            max as f64 >= 0.3 * m.nnz() as f64,
+            "hub must hold ≥ 30% of nonzeros: {max} of {}",
+            m.nnz()
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub fn conversion_cost_spmv(opt: Optimization) -> f64 {
         Optimization::CompressVectorize => 3.0,
         // Decomposition: long-row scan + array rebuild.
         Optimization::Decompose => 2.0,
+        // Merge-path split: `nthreads · log nrows` diagonal searches plus
+        // the segment table — no matrix rebuild, far below one SpMV, but
+        // not free (the searches touch the whole row pointer range).
+        Optimization::MergeSplit => 0.5,
         // Scheduling / prefetch / unrolling only parameterize the generated
         // kernel; their cost is inside the JIT constant.
         Optimization::AutoSchedule | Optimization::Prefetch | Optimization::UnrollVectorize => 0.0,
@@ -92,11 +96,17 @@ impl OptimizerKind {
         all_pair_cost: f64,
     ) -> f64 {
         let selected_cost = plan_conversion_cost_spmv(selected) + JIT_COST_SPMV;
+        // Candidate counts follow the pool size (6 singles, 6 + C(6,2) = 21
+        // single+pair combinations since the merge split joined the pool).
+        let n = Optimization::ALL.len() as f64;
+        let n_combined = n + n * (n - 1.0) / 2.0;
         match self {
-            // 5 candidate kernels, each converted, JIT-ed and timed.
-            OptimizerKind::TrivialSingle => all_single_cost + 5.0 * (TRIAL_ITERS + JIT_COST_SPMV),
-            // 15 candidates.
-            OptimizerKind::TrivialCombined => all_pair_cost + 15.0 * (TRIAL_ITERS + JIT_COST_SPMV),
+            // Every single-optimization kernel converted, JIT-ed and timed.
+            OptimizerKind::TrivialSingle => all_single_cost + n * (TRIAL_ITERS + JIT_COST_SPMV),
+            // Every single + pair combination.
+            OptimizerKind::TrivialCombined => {
+                all_pair_cost + n_combined * (TRIAL_ITERS + JIT_COST_SPMV)
+            }
             // Micro-benchmarks: baseline + P_ML kernel + P_CMP kernel, each
             // timed over TRIAL_ITERS; then the chosen plan's setup.
             OptimizerKind::ProfileGuided => 3.0 * TRIAL_ITERS + selected_cost,

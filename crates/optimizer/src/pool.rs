@@ -1,16 +1,20 @@
-//! The optimization pool — Table II of the paper.
+//! The optimization pool — Table II of the paper, extended with the
+//! merge-path nonzero split.
 //!
 //! | class | optimization |
 //! |---|---|
 //! | MB | column-index delta compression + vectorization |
 //! | ML | software prefetching on `x` |
-//! | IMB | matrix decomposition *or* OpenMP-style auto scheduling |
+//! | IMB | merge-path nonzero split, matrix decomposition, *or* OpenMP-style auto scheduling |
 //! | CMP | inner-loop unrolling + vectorization |
 //!
 //! When several bottlenecks are detected the optimizations are applied
-//! jointly. The IMB subcategory choice follows Section III-E: highly uneven
-//! row lengths (detected via `nnz_max` vs `nnz_avg`) ⇒ decomposition;
-//! computational unevenness (detected via `bw_sd`) ⇒ auto scheduling.
+//! jointly. The IMB subcategory choice extends Section III-E: a row heavy
+//! enough that *no* whole-row distribution can balance it (its share of all
+//! nonzeros exceeds [`MERGE_ROW_SHARE`]) or a heavy-tailed row-length
+//! variance (`nnz_sd` beyond [`MERGE_SD_SKEW`]`·nnz_avg`) ⇒ merge-path
+//! nonzero split; highly uneven row lengths below that (`nnz_max` vs
+//! `nnz_avg`) ⇒ decomposition; computational unevenness ⇒ auto scheduling.
 
 use sparseopt_classifier::{Bottleneck, ClassSet};
 use sparseopt_core::prelude::*;
@@ -28,6 +32,9 @@ pub enum Optimization {
     Prefetch,
     /// Split out long rows (IMB, uneven row lengths).
     Decompose,
+    /// Merge-path nonzero split (IMB, dominant rows / heavy-tailed
+    /// variance): balance *within* rows, no format conversion.
+    MergeSplit,
     /// Delegate scheduling to the runtime heuristic (IMB, uneven regions).
     AutoSchedule,
     /// Unroll + vectorize the inner loop (CMP).
@@ -35,11 +42,13 @@ pub enum Optimization {
 }
 
 impl Optimization {
-    /// All pool members (the paper's "total of 5").
-    pub const ALL: [Optimization; 5] = [
+    /// All pool members: the paper's "total of 5" plus the merge-path
+    /// nonzero split.
+    pub const ALL: [Optimization; 6] = [
         Optimization::CompressVectorize,
         Optimization::Prefetch,
         Optimization::Decompose,
+        Optimization::MergeSplit,
         Optimization::AutoSchedule,
         Optimization::UnrollVectorize,
     ];
@@ -50,6 +59,7 @@ impl Optimization {
             Optimization::CompressVectorize => "compress+vec",
             Optimization::Prefetch => "prefetch",
             Optimization::Decompose => "decompose",
+            Optimization::MergeSplit => "merge-split",
             Optimization::AutoSchedule => "auto-sched",
             Optimization::UnrollVectorize => "unroll+vec",
         }
@@ -60,7 +70,9 @@ impl Optimization {
         match self {
             Optimization::CompressVectorize => Bottleneck::Mb,
             Optimization::Prefetch => Bottleneck::Ml,
-            Optimization::Decompose | Optimization::AutoSchedule => Bottleneck::Imb,
+            Optimization::Decompose | Optimization::MergeSplit | Optimization::AutoSchedule => {
+                Bottleneck::Imb
+            }
             Optimization::UnrollVectorize => Bottleneck::Cmp,
         }
     }
@@ -69,6 +81,18 @@ impl Optimization {
 /// Row-length skew factor above which the IMB optimization decomposes rather
 /// than reschedules (`nnz_max > LONG_ROW_SKEW · nnz_avg`).
 pub const LONG_ROW_SKEW: f64 = 16.0;
+
+/// Share of all nonzeros a single row must hold before the IMB remediation
+/// is the merge-path nonzero split: above this no whole-row quota (for any
+/// realistic thread count) can contain the row, so balance must come from
+/// splitting *inside* it.
+pub const MERGE_ROW_SHARE: f64 = 0.25;
+
+/// Row-length standard deviation factor (`nnz_sd > MERGE_SD_SKEW · nnz_avg`)
+/// marking a heavy-tailed distribution: many medium-long rows fragment every
+/// whole-row quota, which the nonzero split absorbs without the format
+/// conversion a decomposition pays.
+pub const MERGE_SD_SKEW: f64 = 8.0;
 
 /// Long-row threshold factor handed to the decomposition
 /// (`threshold = LONG_ROW_FACTOR · nnz_avg`).
@@ -91,7 +115,22 @@ pub fn select_optimizations(classes: ClassSet, features: &MatrixFeatures) -> Vec
         opts.push(Optimization::Prefetch);
     }
     if classes.contains(Bottleneck::Imb) {
-        if features.nnz_max > LONG_ROW_SKEW * features.nnz_avg.max(1e-12) {
+        let avg = features.nnz_avg.max(1e-12);
+        // Order matters: by the Bhatia–Davis inequality `sd² ≤ avg·max` for
+        // non-negative row lengths, `sd > 8·avg` implies `max > 64·avg`, so
+        // the heavy-tail check must come *before* the long-row check or it
+        // could never fire.
+        if features.nnz_max > MERGE_ROW_SHARE * features.nnz as f64 {
+            // A single row dominates the whole matrix: split within it.
+            opts.push(Optimization::MergeSplit);
+        } else if features.nnz_sd > MERGE_SD_SKEW * avg {
+            // Heavy tail: enough long-row mass to fragment every whole-row
+            // quota — balance within rows, no format conversion.
+            opts.push(Optimization::MergeSplit);
+        } else if features.nnz_max > LONG_ROW_SKEW * avg {
+            // A few isolated long rows over a regular background (extreme
+            // max, modest overall dispersion): splitting just those rows
+            // out is cheap and keeps the plain row kernel for the rest.
             opts.push(Optimization::Decompose);
         } else {
             opts.push(Optimization::AutoSchedule);
@@ -218,10 +257,14 @@ impl OptimizationPlan {
         self.optimizations.is_empty()
     }
 
-    /// The modeled kernel configuration for the simulator.
+    /// The modeled kernel configuration for the simulator. Precedence among
+    /// format/partitioning changes mirrors [`Self::build_host_kernel`]:
+    /// merge split > decomposition > compression.
     pub fn to_sim_config(&self) -> SimKernelConfig {
         let has = |o: Optimization| self.optimizations.contains(&o);
-        let format = if let Some(t) = self.decompose_threshold {
+        let format = if has(Optimization::MergeSplit) {
+            SimFormat::MergeCsr
+        } else if let Some(t) = self.decompose_threshold {
             SimFormat::Decomposed { threshold: t }
         } else if has(Optimization::CompressVectorize) {
             SimFormat::DeltaCsr
@@ -242,8 +285,10 @@ impl OptimizationPlan {
     }
 
     /// Builds the real, runnable operator implementing the plan on the
-    /// host. Precedence when format-changing optimizations collide:
-    /// decomposition wins over compression (a decomposed matrix keeps plain
+    /// host. Precedence when format/partitioning-changing optimizations
+    /// collide: the merge-path nonzero split wins over decomposition (it
+    /// subsumes the long-row remediation without a format conversion),
+    /// which wins over compression (a decomposed matrix keeps plain
     /// indices). Every format operator covers the full
     /// `{NoTrans, Trans} × {vec, multivec}` space, so the result serves any
     /// consumer; [`Self::build_host_op`] additionally checks an explicit
@@ -262,7 +307,11 @@ impl OptimizationPlan {
             Schedule::StaticNnz
         };
 
-        if let Some(threshold) = self.decompose_threshold {
+        if has(Optimization::MergeSplit) {
+            // The nonzero split replaces scheduling entirely: its 2-D
+            // partition is the schedule.
+            Box::new(MergeCsr::new(csr.clone(), inner, prefetch, ctx))
+        } else if let Some(threshold) = self.decompose_threshold {
             let dec = Arc::new(DecomposedCsrMatrix::from_csr(csr, threshold));
             Box::new(DecomposedKernel::new(dec, inner, prefetch, schedule, ctx))
         } else if has(Optimization::CompressVectorize) {
@@ -318,7 +367,8 @@ impl OptimizationPlan {
     }
 }
 
-/// All 5 single-optimization plans (the paper's trivial-single sweep).
+/// All single-optimization plans (the paper's trivial-single sweep over the
+/// 5 Table II members, widened to 6 by the merge split).
 pub fn single_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
     Optimization::ALL
         .iter()
@@ -326,15 +376,17 @@ pub fn single_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
         .collect()
 }
 
-/// All C(5,2) = 10 pairs, totaling 15 plans with the singles (the paper's
-/// trivial-combined sweep: "combinations of 2 (total of 15)").
+/// All singles plus every pair — the paper's trivial-combined sweep
+/// ("combinations of 2"), now 6 + C(6,2) = 21 plans with the merge split in
+/// the pool.
 pub fn single_and_pair_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
     let mut plans = single_plans(features);
     let all = Optimization::ALL;
     for i in 0..all.len() {
         for j in i + 1..all.len() {
-            // Decompose + AutoSchedule are alternatives for the same class;
-            // their pair is still enumerated (the trivial optimizer is blind).
+            // The IMB remediations are alternatives for the same class;
+            // their pairs are still enumerated (the trivial optimizer is
+            // blind) and resolve by the build precedence.
             plans.push(OptimizationPlan::from_optimizations(
                 &[all[i], all[j]],
                 features,
@@ -368,13 +420,44 @@ mod tests {
     }
 
     #[test]
-    fn imb_decomposes_on_skewed_rows() {
-        let m = CsrMatrix::from_coo(&g::few_dense_rows(3000, 2, 3, 1));
+    fn imb_decomposes_on_isolated_long_rows() {
+        // A few isolated long rows over a large regular background: extreme
+        // max/avg (> LONG_ROW_SKEW) but modest dispersion (sd below
+        // MERGE_SD_SKEW·avg) and a tiny nonzero share — the shape where
+        // splitting out the handful of long rows stays the right call.
+        let mut coo = sparseopt_core::coo::CooMatrix::new(5000, 5000);
+        for i in 0..5000 {
+            for j in 0..5 {
+                coo.push(i, (i + j * 7) % 5000, 1.0);
+            }
+        }
+        for r in [100usize, 2500, 4900] {
+            for j in 0..300 {
+                coo.push(r, (j * 13) % 5000, 0.5);
+            }
+        }
+        let m = CsrMatrix::from_coo(&coo);
         let f = feats(&m);
+        assert!(f.nnz_max > LONG_ROW_SKEW * f.nnz_avg);
+        assert!(f.nnz_sd <= MERGE_SD_SKEW * f.nnz_avg, "sd {}", f.nnz_sd);
         let opts = select_optimizations(ClassSet::from_classes(&[Bottleneck::Imb]), &f);
         assert_eq!(opts, vec![Optimization::Decompose]);
         let plan = OptimizationPlan::from_classes(ClassSet::from_classes(&[Bottleneck::Imb]), &f);
         assert!(plan.decompose_threshold.is_some());
+    }
+
+    #[test]
+    fn imb_merge_splits_on_heavy_tail_without_dominant_row() {
+        // Many dense-ish rows, none holding MERGE_ROW_SHARE of the matrix:
+        // the heavy-tail rule (sd > MERGE_SD_SKEW·avg) must pick the
+        // nonzero split — this branch sits *before* the long-row check
+        // because sd² ≤ avg·max makes it unreachable afterwards.
+        let m = CsrMatrix::from_coo(&g::few_dense_rows(3000, 2, 3, 1));
+        let f = feats(&m);
+        assert!(f.nnz_max < MERGE_ROW_SHARE * f.nnz as f64 + 1.0);
+        assert!(f.nnz_sd > MERGE_SD_SKEW * f.nnz_avg);
+        let opts = select_optimizations(ClassSet::from_classes(&[Bottleneck::Imb]), &f);
+        assert_eq!(opts, vec![Optimization::MergeSplit]);
     }
 
     #[test]
@@ -390,11 +473,56 @@ mod tests {
     }
 
     #[test]
-    fn plan_counts_match_paper() {
+    fn plan_counts_cover_the_widened_pool() {
+        // The paper's 5 + merge split = 6 singles, plus C(6,2) pairs.
         let m = CsrMatrix::from_coo(&g::banded(300, 1));
         let f = feats(&m);
-        assert_eq!(single_plans(&f).len(), 5);
-        assert_eq!(single_and_pair_plans(&f).len(), 15);
+        assert_eq!(single_plans(&f).len(), 6);
+        assert_eq!(single_and_pair_plans(&f).len(), 21);
+    }
+
+    #[test]
+    fn imb_merge_splits_on_dominant_row() {
+        // The power-law hub concentrates ≥ 30% of nonzeros in one row:
+        // beyond any whole-row quota, so the pool must pick the nonzero
+        // split over decomposition.
+        let m = CsrMatrix::from_coo(&g::power_law_hub(4000, 2, 7));
+        let f = feats(&m);
+        assert!(
+            f.nnz_max > MERGE_ROW_SHARE * f.nnz as f64,
+            "hub must dominate: max {} of {}",
+            f.nnz_max,
+            f.nnz
+        );
+        let opts = select_optimizations(ClassSet::from_classes(&[Bottleneck::Imb]), &f);
+        assert_eq!(opts, vec![Optimization::MergeSplit]);
+        let plan = OptimizationPlan::from_classes(ClassSet::from_classes(&[Bottleneck::Imb]), &f);
+        assert_eq!(plan.to_sim_config().format, SimFormat::MergeCsr);
+        let op = plan.build_host_kernel(&Arc::new(m), ExecCtx::new(2));
+        assert!(op.name().starts_with("csr-merge"), "got {}", op.name());
+    }
+
+    #[test]
+    fn merge_split_takes_precedence_in_joint_plans() {
+        let m = CsrMatrix::from_coo(&g::power_law_hub(2000, 2, 3));
+        let f = feats(&m);
+        let plan = OptimizationPlan::from_optimizations(
+            &[Optimization::MergeSplit, Optimization::Decompose],
+            &f,
+        );
+        assert_eq!(plan.to_sim_config().format, SimFormat::MergeCsr);
+        let csr = Arc::new(m);
+        let op = plan.build_host_kernel(&csr, ExecCtx::new(2));
+        assert!(op.name().starts_with("csr-merge"), "got {}", op.name());
+        // And the built operator still computes A·x correctly.
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut y = vec![f64::NAN; csr.nrows()];
+        op.spmv(&x, &mut y);
+        let mut want = vec![0.0; csr.nrows()];
+        SerialCsr::new(csr.clone()).spmv(&x, &mut want);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
     }
 
     #[test]

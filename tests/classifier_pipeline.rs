@@ -154,6 +154,76 @@ fn adaptive_optimizer_never_picks_a_catastrophic_plan() {
 }
 
 #[test]
+fn imb_pool_proposes_merge_csr_for_power_law_hub() {
+    // Acceptance shape: a power-law matrix whose hub row holds ≥ 30% of all
+    // nonzeros. Whole-row remediation cannot balance it, so the IMB
+    // optimization pool must propose the merge-path nonzero split — through
+    // *both* classifier paths.
+    use sparseopt::classifier::LabeledMatrix;
+    use sparseopt::matrix::generators as g;
+    use sparseopt::ml::TreeParams;
+
+    let csr = arc(g::power_law_hub(4000, 2, 11));
+    let hub = (0..csr.nrows()).map(|i| csr.row_nnz(i)).max().unwrap();
+    assert!(
+        hub as f64 >= 0.3 * csr.nnz() as f64,
+        "hub row must hold ≥ 30% of nonzeros"
+    );
+
+    let profiler = SimBoundsProfiler::new(Platform::knc());
+    let features = MatrixFeatures::extract(&csr, 30 * 1024 * 1024);
+    let ctx = ExecCtx::new(2);
+
+    // Profile-guided path: bounds → IMB → merge-split plan → MergeCsr op.
+    let classes = ProfileGuidedClassifier::new().classify(&profiler.measure(&csr));
+    assert!(classes.contains(Bottleneck::Imb), "got {classes}");
+    let plan = OptimizationPlan::from_classes(classes, &features);
+    assert!(
+        plan.optimizations.contains(&Optimization::MergeSplit),
+        "plan was {}",
+        plan.label()
+    );
+    let op = plan.build_host_kernel(&csr, ctx.clone());
+    assert!(op.name().starts_with("csr-merge"), "got {}", op.name());
+
+    // Feature-guided path: train on a corpus containing hub matrices
+    // (labeled by the profile-guided classifier), then the tree must carry
+    // IMB — and therefore the same merge-split plan — to unseen features.
+    let pgc = ProfileGuidedClassifier::new();
+    let mut samples: Vec<LabeledMatrix> = corpus()
+        .into_iter()
+        .map(|(name, m)| LabeledMatrix {
+            features: MatrixFeatures::extract(&m, 30 * 1024 * 1024),
+            classes: pgc.classify(&profiler.measure(&m)),
+            name,
+        })
+        .collect();
+    for seed in 0..4u64 {
+        let m = arc(g::power_law_hub(3000 + 500 * seed as usize, 2, seed));
+        samples.push(LabeledMatrix {
+            features: MatrixFeatures::extract(&m, 30 * 1024 * 1024),
+            classes: pgc.classify(&profiler.measure(&m)),
+            name: format!("hub{seed}"),
+        });
+    }
+    let clf =
+        FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+    let feat_classes = clf.classify(&features);
+    assert!(
+        feat_classes.contains(Bottleneck::Imb),
+        "feature-guided classes: {feat_classes}"
+    );
+    let feat_plan = OptimizationPlan::from_classes(feat_classes, &features);
+    assert!(
+        feat_plan.optimizations.contains(&Optimization::MergeSplit),
+        "feature-guided plan was {}",
+        feat_plan.label()
+    );
+    let feat_op = feat_plan.build_host_kernel(&csr, ctx);
+    assert!(feat_op.name().starts_with("csr-merge"));
+}
+
+#[test]
 fn classification_is_deterministic() {
     let profiler = SimBoundsProfiler::new(Platform::knl());
     let classifier = ProfileGuidedClassifier::new();

@@ -68,6 +68,12 @@ fn check_all_formats_against_dense(n: usize, entries: &[(usize, usize, f64)]) {
         DecomposedKernel::baseline(dec, ctx.clone()).spmv(&x, &mut y);
         run(&format!("decomposed-t{threshold}"), &y);
     }
+
+    for nthreads in [1usize, 2, 5] {
+        let mut y = vec![f64::NAN; n];
+        MergeCsr::baseline(csr.clone(), ExecCtx::new(nthreads)).spmv(&x, &mut y);
+        run(&format!("merge-csr-t{nthreads}"), &y);
+    }
 }
 
 /// Strategy: matrices whose bottom half of rows is structurally empty, so

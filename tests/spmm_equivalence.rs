@@ -1,7 +1,8 @@
 //! Property-based cross-crate invariant for the SpMM layer: every
 //! [`SpmmKernel`] in the library — CSR (all schedules), delta-compressed
-//! (both widths), BCSR (several block shapes), ELL, and decomposed —
-//! computes the same `Y = A·X` as `k` independent dense-reference SpMVs,
+//! (both widths), BCSR (several block shapes), ELL, decomposed, and
+//! merge-path — computes the same `Y = A·X` as `k` independent
+//! dense-reference SpMVs,
 //! for k ∈ {1, 3, 8} and on the edge-case matrices every format must
 //! survive (empty rows, single rows, duplicate entries).
 
@@ -88,6 +89,7 @@ fn spmm_zoo(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SpmmKernel>
             ctx.clone(),
         )));
     }
+    zoo.push(Box::new(MergeCsr::baseline(csr.clone(), ctx.clone())));
     zoo
 }
 

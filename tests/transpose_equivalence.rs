@@ -1,7 +1,8 @@
 //! Property-based cross-crate invariant for the operator layer's transposed
 //! application: every format's [`SparseLinOp`] — CSR (all schedules),
-//! delta-compressed (both widths), BCSR (several block shapes), ELL, and
-//! decomposed — computes the same `Y = Aᵀ·X` as the dense `Aᵀx` reference,
+//! delta-compressed (both widths), BCSR (several block shapes), ELL,
+//! decomposed, and merge-path — computes the same `Y = Aᵀ·X` as the dense
+//! `Aᵀx` reference,
 //! for k ∈ {1, 3, 8}, on rectangular matrices and the edge cases every
 //! format must survive (empty rows, single rows, duplicate entries).
 
@@ -88,6 +89,7 @@ fn op_zoo(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SparseLinOp>>
             ctx.clone(),
         )));
     }
+    zoo.push(Box::new(MergeCsr::baseline(csr.clone(), ctx.clone())));
     zoo
 }
 
