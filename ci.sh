@@ -5,10 +5,13 @@
 #                errors), and the debug test pyramid.
 #   ci.sh full — everything in fast plus the docs tier, release-mode tests,
 #                bench compile + smoke run, examples, and the
-#                bench-regression gate (ci_bench: writes BENCH_PR4.json and
-#                fails on >15% Gflop/s regression vs BENCH_BASELINE.json).
+#                bench-regression gate (ci_bench: writes the stable
+#                BENCH_TRAJECTORY.json and fails on >15% Gflop/s regression
+#                vs BENCH_BASELINE.json).
 #
-# Per-tier wall-clock timings are printed at the end of the run.
+# Per-tier wall-clock timings are printed at the end of the run, and —
+# when running under GitHub Actions — appended to $GITHUB_STEP_SUMMARY as a
+# markdown table so CI wall-clock regressions are visible per tier.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -58,4 +61,17 @@ echo "Tier timings ($mode):"
 for i in "${!tier_names[@]}"; do
   printf '  %-16s %4ss\n' "${tier_names[$i]}" "${tier_secs[$i]}"
 done
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "### ci.sh $mode tier timings"
+    echo
+    echo "| tier | seconds |"
+    echo "|---|---:|"
+    for i in "${!tier_names[@]}"; do
+      printf '| %s | %s |\n' "${tier_names[$i]}" "${tier_secs[$i]}"
+    done
+  } >> "$GITHUB_STEP_SUMMARY"
+fi
+
 echo "CI green ($mode)."

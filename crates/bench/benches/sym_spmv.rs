@@ -1,0 +1,66 @@
+//! Criterion group for the symmetric-storage operator: `SymCsr` (SSS,
+//! lower triangle + diagonal streamed once, every stored element used
+//! twice) against `ParallelCsr` over the full matrix, on the two symmetric
+//! acceptance shapes — a banded SPD matrix (the MB-class exemplar, where
+//! the halved stream is the whole story) and a symmetric power-law matrix
+//! (scattered windows: the worst case for the windowed scratch merge).
+//!
+//! The `ci_bench` gate repeats the banded comparison as a pinned
+//! regression check; `tests/symmetric_equivalence.rs` pins correctness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::generators as g;
+use std::sync::Arc;
+
+fn bench_sym_spmv(c: &mut Criterion) {
+    let ctx = ExecCtx::host();
+    let cases: Vec<(&str, Arc<CsrMatrix>)> = vec![
+        (
+            "sym-band-20k",
+            Arc::new(CsrMatrix::from_coo(&g::symmetric_banded(20_000, 8))),
+        ),
+        (
+            "sym-powerlaw-8k",
+            Arc::new(CsrMatrix::from_coo(&g::symmetric_power_law(8192, 4, 7))),
+        ),
+    ];
+
+    for (name, csr) in &cases {
+        let mut group = c.benchmark_group(format!("sym_spmv/{name}"));
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.sample_size(20);
+
+        let x = vec![1.0f64; csr.ncols()];
+        let mut y = vec![0.0f64; csr.nrows()];
+
+        let full = ParallelCsr::baseline(csr.clone(), ctx.clone());
+        group.bench_function("csr-baseline", |b| b.iter(|| full.spmv(&x, &mut y)));
+
+        let simd_cfg = sparseopt_core::CsrKernelConfig {
+            inner: InnerLoop::Simd,
+            ..sparseopt_core::CsrKernelConfig::baseline()
+        };
+        let full_simd = ParallelCsr::new(csr.clone(), simd_cfg, ctx.clone());
+        group.bench_function("csr-simd", |b| b.iter(|| full_simd.spmv(&x, &mut y)));
+
+        let sss = Arc::new(SssCsr::try_from_csr(csr).expect("generators are symmetric"));
+        let sym = SymCsr::baseline(sss.clone(), ctx.clone());
+        group.bench_function("sym-sss", |b| b.iter(|| sym.spmv(&x, &mut y)));
+
+        let sym_simd = SymCsr::new(sss.clone(), InnerLoop::Simd, false, ctx.clone());
+        group.bench_function("sym-sss-simd", |b| b.iter(|| sym_simd.spmv(&x, &mut y)));
+
+        // The multi-vector path shares the windowed merge: exercise it.
+        let xm = MultiVec::from_fn(csr.ncols(), 8, |i, j| {
+            0.5 + ((i * 7 + j) as f64 * 0.19).sin()
+        });
+        let mut ym = MultiVec::zeros(csr.nrows(), 8);
+        group.bench_function("sym-spmm-k8", |b| b.iter(|| sym.spmm(&xm, &mut ym)));
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sym_spmv);
+criterion_main!(benches);

@@ -1,10 +1,13 @@
 //! `ci_bench` — the bench-regression tier of `ci.sh full`.
 //!
 //! Runs a pinned micro-suite (one matrix per bottleneck shape × the kernel
-//! family), writes the measured Gflop/s trajectory to `BENCH_PR4.json`, and
-//! exits nonzero if any (matrix, kernel) pair regresses more than the
-//! tolerance (default 15%, override with `--tolerance` or
-//! `SPARSEOPT_BENCH_TOLERANCE`) against the committed `BENCH_BASELINE.json`.
+//! family, plus the symmetric-storage operator on the symmetric members),
+//! writes the measured Gflop/s trajectory to the **stable**
+//! `BENCH_TRAJECTORY.json` (so the CI workflow's artifact upload never
+//! needs a per-PR filename edit), and exits nonzero if any
+//! (matrix, kernel) pair regresses more than the tolerance (default 15%,
+//! override with `--tolerance` or `SPARSEOPT_BENCH_TOLERANCE`) against the
+//! committed `BENCH_BASELINE.json`.
 //!
 //! It additionally enforces the merge-path acceptance comparison —
 //! `MergeCsr` must beat the best whole-row CSR schedule on the power-law
@@ -88,6 +91,10 @@ fn suite() -> Vec<(&'static str, Arc<CsrMatrix>)> {
             "powerlaw-hub-8k",
             Arc::new(CsrMatrix::from_coo(&g::power_law_hub(8192, 2, 11))),
         ),
+        (
+            "sym-band-20k",
+            Arc::new(CsrMatrix::from_coo(&g::symmetric_banded(20_000, 4))),
+        ),
     ]
 }
 
@@ -98,7 +105,7 @@ fn kernels(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<(&'static str, Box<d
         ..CsrKernelConfig::baseline()
     };
     let threshold = DecomposedCsrMatrix::auto_threshold(csr, 4.0);
-    vec![
+    let mut kernels: Vec<(&'static str, Box<dyn SparseLinOp>)> = vec![
         (
             "csr-baseline",
             Box::new(ParallelCsr::baseline(csr.clone(), ctx.clone())),
@@ -149,7 +156,17 @@ fn kernels(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<(&'static str, Box<d
             "merge",
             Box::new(MergeCsr::baseline(csr.clone(), ctx.clone())),
         ),
-    ]
+    ];
+    // The symmetric-storage operator only exists for exactly symmetric
+    // matrices (sym-band-20k and the Poisson stencil in this suite); the
+    // baseline keys on (matrix, kernel), so the pairs stay stable.
+    if let Some(sss) = SssCsr::try_from_csr(csr) {
+        kernels.push((
+            "sym",
+            Box::new(SymCsr::baseline(Arc::new(sss), ctx.clone())),
+        ));
+    }
+    kernels
 }
 
 fn write_json(path: &str, nthreads: usize, entries: &[Entry]) -> std::io::Result<()> {
@@ -220,7 +237,7 @@ fn read_json(path: &str) -> Result<(usize, Vec<Entry>), String> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut out_path = "BENCH_TRAJECTORY.json".to_string();
     let mut baseline_path = "BENCH_BASELINE.json".to_string();
     let mut tolerance = std::env::var("SPARSEOPT_BENCH_TOLERANCE")
         .ok()

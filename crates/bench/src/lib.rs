@@ -11,7 +11,7 @@
 //! | `table4` | Table IV — feature-guided classifier LOO accuracy |
 //! | `table5` | Table V — amortization iteration counts on KNL |
 //! | `tune` | Fig. 4 hyperparameter grid search (`T_ML`, `T_IMB`) |
-//! | `ci_bench` | bench-regression gate: pinned micro-suite → `BENCH_PR4.json`, fails on >15% regression vs the committed baseline |
+//! | `ci_bench` | bench-regression gate: pinned micro-suite → `BENCH_TRAJECTORY.json` (stable name), fails on >15% regression vs the committed baseline |
 //!
 //! The `benches/` directory holds criterion micro-benchmarks of the real
 //! host kernels (timing on this machine, not the modeled platforms),

@@ -23,6 +23,7 @@ mod merge;
 mod microbench;
 mod rowprim;
 mod slab;
+mod sym;
 pub(crate) mod transpose;
 
 pub use csr::{CsrKernelConfig, ParallelCsr, SerialCsr};
@@ -34,6 +35,7 @@ pub use merge::MergeCsr;
 pub use microbench::{regularize_colind, UnitStrideCsr};
 pub use rowprim::{row_dot, InnerLoop, SPMM_COL_TILE};
 pub use slab::{BcsrKernel, EllKernel};
+pub use sym::SymCsr;
 
 /// Thin compatibility shim: the historical single-vector view of an
 /// operator. Blanket-implemented for every [`SparseLinOp`], so

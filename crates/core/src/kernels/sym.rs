@@ -1,0 +1,322 @@
+//! Symmetric-storage SpMV operator over [`SssCsr`] — the second MB-class
+//! traffic halver of the optimization pool (Table II extension), next to
+//! the delta compression of [`DeltaKernel`].
+//!
+//! For a symmetric matrix `A = L + D + Lᵀ`, one sweep over the stored lower
+//! triangle computes the full product: row `i` contributes its gather-side
+//! dot product `d_i·x_i + L_i·x` *and* scatters `L_i ᵀ·x_i` into the columns
+//! it references — every stored off-diagonal element performs two fused
+//! multiply-adds while being streamed **once**. The streamed matrix bytes
+//! therefore drop to roughly half of full CSR, which is exactly what the
+//! memory-bandwidth-bound class needs.
+//!
+//! The scatter side raises the same write-conflict problem as transposed
+//! application, and it is solved by the same machinery: pool-parallel
+//! per-thread scratch rows merged without atomics. The twist is the
+//! [`WindowedMergePlan`]: because row `i` of the lower triangle only
+//! references columns `< i`, each thread's scatter targets live in a
+//! *window* `[min_col, rows.end)` computed at build time — for banded
+//! symmetric matrices the windows barely exceed the thread's own row range,
+//! so the scratch footprint and the merge traffic stay `O(n + halo)` rather
+//! than `O(nthreads · n)`.
+//!
+//! For symmetric `A`, `Aᵀ = A`: the transposed application short-circuits
+//! to the forward sweep, so the operator covers the full
+//! `{NoTrans, Trans} × {vec, multivec}` surface by construction.
+//!
+//! [`DeltaKernel`]: super::DeltaKernel
+
+use super::rowprim::{row_dot, row_spmm_acc, InnerLoop};
+use super::transpose::WindowedMergePlan;
+use super::{check_apply_multi_operands, check_apply_operands, Apply, SparseLinOp};
+use crate::multivec::MultiVec;
+use crate::partition::Partition;
+use crate::pool::ExecCtx;
+use crate::sss::SssCsr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The symmetric-storage operator: one sweep over the lower triangle,
+/// windowed scratch merge for the scatter side, no atomics.
+pub struct SymCsr {
+    matrix: Arc<SssCsr>,
+    ctx: Arc<ExecCtx>,
+    inner: InnerLoop,
+    prefetch: bool,
+    plan: WindowedMergePlan,
+}
+
+impl SymCsr {
+    /// Builds the operator: an nnz-balanced partition of the lower-triangle
+    /// rows plus one column-window scan (`O(stored_nnz)` — far below any
+    /// format conversion; the triangle split itself is charged by the
+    /// amortization model).
+    pub fn new(matrix: Arc<SssCsr>, inner: InnerLoop, prefetch: bool, ctx: Arc<ExecCtx>) -> Self {
+        let nthreads = ctx.nthreads();
+        let work = Partition::by_rowptr(matrix.rowptr(), nthreads);
+        let mut windows = Vec::with_capacity(work.len());
+        for t in 0..work.len() {
+            let rows = work.range(t);
+            if rows.is_empty() {
+                windows.push(0..0);
+                continue;
+            }
+            // The window must cover the thread's own rows (gather-side row
+            // results land at slot `i`) and every column its lower-triangle
+            // entries scatter to (all `< i`, hence `>= min first column`).
+            let mut lo = rows.start;
+            for i in rows.clone() {
+                if let Some(&c) = matrix.row_cols(i).first() {
+                    lo = lo.min(c as usize);
+                }
+            }
+            windows.push(lo..rows.end);
+        }
+        let plan = WindowedMergePlan::new(work, windows, matrix.n(), nthreads);
+        Self {
+            matrix,
+            ctx,
+            inner: inner.resolve_for_host(),
+            prefetch,
+            plan,
+        }
+    }
+
+    /// Scalar-loop symmetric operator — the pure MB storage optimization.
+    pub fn baseline(matrix: Arc<SssCsr>, ctx: Arc<ExecCtx>) -> Self {
+        Self::new(matrix, InnerLoop::Scalar, false, ctx)
+    }
+
+    /// The stored matrix.
+    pub fn matrix(&self) -> &Arc<SssCsr> {
+        &self.matrix
+    }
+
+    /// Total scratch elements of the windowed merge at `k = 1` (inspection,
+    /// tests: banded matrices must stay near `n`, not `nthreads · n`).
+    pub fn scratch_elems(&self) -> usize {
+        self.plan.scratch_elems()
+    }
+
+    /// The shared flat one-sweep application (`k = 1` is the vector path):
+    /// each thread accumulates `d_i x_i + L_i·x` into its private slot `i`
+    /// and scatters `v·x_i` into slots `c < i`; the windowed merge reduces
+    /// the per-thread partials into `y = (L + D + Lᵀ)·x`.
+    fn sweep(&self, xs: &[f64], k: usize, y: &mut [f64]) {
+        let m = &self.matrix;
+        let diag = m.diag();
+        let inner = self.inner;
+        let prefetch = self.prefetch;
+        self.plan.execute(&self.ctx, k, y, |rows, lo, buf| {
+            for i in rows {
+                let (cols, vals) = (m.row_cols(i), m.row_vals(i));
+                let xrow = &xs[i * k..(i + 1) * k];
+                // Scatter side: Lᵀ contribution of row i (columns < i, all
+                // inside the window by construction).
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let base = (c as usize - lo) * k;
+                    for (d, &xv) in buf[base..base + k].iter_mut().zip(xrow) {
+                        *d += v * xv;
+                    }
+                }
+                // Gather side: D + L row result, accumulated (slot i may
+                // already hold scatter contributions from earlier rows).
+                let base = (i - lo) * k;
+                if k == 1 {
+                    buf[base] += diag[i] * xs[i] + row_dot(inner, prefetch, cols, vals, xs);
+                } else {
+                    let out = &mut buf[base..base + k];
+                    row_spmm_acc(cols, vals, xs, k, out);
+                    for (o, &xv) in out.iter_mut().zip(xrow) {
+                        *o += diag[i] * xv;
+                    }
+                }
+            }
+        });
+    }
+}
+
+impl SparseLinOp for SymCsr {
+    fn name(&self) -> String {
+        let pf = if self.prefetch { "+prefetch" } else { "" };
+        format!("sym-sss[{}{}]", self.inner.label(), pf)
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.matrix.n(), self.matrix.n())
+    }
+
+    fn nnz(&self) -> usize {
+        self.matrix.logical_nnz()
+    }
+
+    fn apply(&self, op: Apply, x: &[f64], y: &mut [f64]) {
+        check_apply_operands(self.shape(), op, x, y);
+        // Aᵀ = A for the symmetric matrix this storage can represent: both
+        // application modes are the same one-sweep kernel.
+        self.sweep(x, 1, y);
+    }
+
+    fn apply_multi(&self, op: Apply, x: &MultiVec, y: &mut MultiVec) {
+        check_apply_multi_operands(self.shape(), op, x, y);
+        self.sweep(x.as_slice(), x.width(), y.as_mut_slice());
+    }
+
+    fn last_thread_times(&self) -> Vec<Duration> {
+        self.ctx.last_thread_times()
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        self.matrix.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::csr::CsrMatrix;
+    use crate::kernels::SerialCsr;
+
+    /// Symmetric banded sample: diagonally dominant, values mirrored exactly.
+    fn sym_band(n: usize, band: usize) -> (Arc<CsrMatrix>, Arc<SssCsr>) {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0 * band as f64 + 1.0);
+            for j in i.saturating_sub(band)..i {
+                let v = 0.25 + ((i * 31 + j * 7) % 11) as f64 * 0.125;
+                coo.push(i, j, v);
+                coo.push(j, i, v);
+            }
+        }
+        let csr = Arc::new(CsrMatrix::from_coo(&coo));
+        let sss = Arc::new(SssCsr::try_from_csr(&csr).expect("band is symmetric"));
+        (csr, sss)
+    }
+
+    fn assert_matches_full(csr: &Arc<CsrMatrix>, sss: &Arc<SssCsr>, nthreads: usize) {
+        let n = csr.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 0.3 + (i as f64 * 0.41).sin()).collect();
+        let mut want = vec![0.0; n];
+        SerialCsr::new(csr.clone()).spmv(&x, &mut want);
+        for inner in [InnerLoop::Scalar, InnerLoop::Unrolled4, InnerLoop::Simd] {
+            let op = SymCsr::new(sss.clone(), inner, false, ExecCtx::new(nthreads));
+            let mut y = vec![f64::NAN; n];
+            op.spmv(&x, &mut y);
+            for (i, (a, b)) in y.iter().zip(&want).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                    "row {i}, {nthreads} threads, {}: {a} vs {b}",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_csr_across_threads_and_inners() {
+        let (csr, sss) = sym_band(257, 5);
+        for nthreads in [1, 2, 4, 7] {
+            assert_matches_full(&csr, &sss, nthreads);
+        }
+    }
+
+    #[test]
+    fn transpose_is_the_forward_sweep() {
+        let (csr, sss) = sym_band(101, 3);
+        let x: Vec<f64> = (0..101).map(|i| 1.0 + (i as f64 * 0.13).cos()).collect();
+        let op = SymCsr::baseline(sss, ExecCtx::new(3));
+        let mut fwd = vec![f64::NAN; 101];
+        op.apply(Apply::NoTrans, &x, &mut fwd);
+        let mut tr = vec![f64::NAN; 101];
+        op.apply(Apply::Trans, &x, &mut tr);
+        assert_eq!(fwd, tr, "Aᵀ must be A for symmetric storage");
+        let mut want = vec![0.0; 101];
+        SerialCsr::new(csr).apply(Apply::Trans, &x, &mut want);
+        for (a, b) in tr.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn multi_vector_matches_column_spmvs() {
+        let (csr, sss) = sym_band(83, 4);
+        let k = 5usize;
+        let x = MultiVec::from_fn(83, k, |i, j| (i as f64 * 0.07 + j as f64 * 0.31).sin());
+        let op = SymCsr::baseline(sss, ExecCtx::new(4));
+        let mut y = MultiVec::zeros(83, k);
+        op.spmm(&x, &mut y);
+        let serial = SerialCsr::new(csr);
+        for j in 0..k {
+            let mut col = vec![0.0; 83];
+            serial.spmv(&x.column(j), &mut col);
+            for (i, want) in col.iter().enumerate() {
+                let got = y.row(i)[j];
+                assert!(
+                    (got - want).abs() < 1e-9 * (1.0 + want.abs()),
+                    "({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banded_windows_stay_near_n_not_threads_times_n() {
+        let (_, sss) = sym_band(4096, 4);
+        let nthreads = 8;
+        let op = SymCsr::baseline(sss, ExecCtx::new(nthreads));
+        // Each thread's halo is at most one bandwidth: the windowed scratch
+        // must be ~n, not nthreads·n (the whole point of the windowed plan).
+        assert!(
+            op.scratch_elems() <= 4096 + nthreads * 4,
+            "windowed scratch blew up: {}",
+            op.scratch_elems()
+        );
+    }
+
+    #[test]
+    fn all_diagonal_matrix() {
+        let mut coo = CooMatrix::new(9, 9);
+        for i in 0..9 {
+            coo.push(i, i, 1.0 + i as f64);
+        }
+        let csr = Arc::new(CsrMatrix::from_coo(&coo));
+        let sss = Arc::new(SssCsr::try_from_csr(&csr).unwrap());
+        assert_matches_full(&csr, &sss, 3);
+    }
+
+    #[test]
+    fn empty_matrix_zeroes_output() {
+        let csr = Arc::new(CsrMatrix::from_coo(&CooMatrix::new(4, 4)));
+        let sss = Arc::new(SssCsr::try_from_csr(&csr).unwrap());
+        let op = SymCsr::baseline(sss, ExecCtx::new(3));
+        let mut y = vec![f64::NAN; 4];
+        op.spmv(&[1.0; 4], &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn single_row_matrix() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 3.5);
+        let csr = Arc::new(CsrMatrix::from_coo(&coo));
+        let sss = Arc::new(SssCsr::try_from_csr(&csr).unwrap());
+        for nthreads in [1, 4] {
+            assert_matches_full(&csr, &sss, nthreads);
+        }
+    }
+
+    #[test]
+    fn name_capabilities_and_counters() {
+        let (_, sss) = sym_band(16, 2);
+        let op = SymCsr::new(sss.clone(), InnerLoop::Scalar, true, ExecCtx::new(2));
+        assert_eq!(op.name(), "sym-sss[scalar+prefetch]");
+        let caps = op.capabilities();
+        assert!(caps.transpose && caps.multi_vec);
+        assert_eq!(op.nnz(), sss.logical_nnz());
+        assert_eq!(op.shape(), (16, 16));
+        let mut y = vec![0.0; 16];
+        op.spmv(&[1.0; 16], &mut y);
+        assert_eq!(op.last_thread_times().len(), 2);
+    }
+}

@@ -17,6 +17,9 @@
 //!   space (Fig. 2 baseline, Table II optimizations, Section III-B
 //!   micro-benchmarks), plus the merge-path nonzero-split
 //!   [`kernels::MergeCsr`] operator for residually imbalanced matrices.
+//! - [`sss`] — symmetric sparse skyline storage (lower triangle + dense
+//!   diagonal): the MB-class traffic halver behind [`kernels::SymCsr`],
+//!   which computes `y = L·x + D·x + Lᵀ·x` in one sweep.
 //! - [`multivec`] — dense row-major multi-vector (`X ∈ R^{n×k}`) backing the
 //!   multiple-right-hand-side workload; each fetched nonzero is reused `k`
 //!   times, amortizing the matrix stream.
@@ -52,6 +55,7 @@ pub mod multivec;
 pub mod partition;
 pub mod pool;
 pub mod schedule;
+pub mod sss;
 pub mod util;
 
 /// Convenient re-exports of the types used by nearly every consumer.
@@ -65,12 +69,13 @@ pub mod prelude {
     pub use crate::kernels::{
         gflops, Apply, BcsrKernel, CsrKernelConfig, DecomposedKernel, DeltaKernel, EllKernel,
         InnerLoop, MergeCsr, OpCapabilities, ParallelCsr, SerialCsr, SparseLinOp, SpmmKernel,
-        SpmvKernel, UnitStrideCsr,
+        SpmvKernel, SymCsr, UnitStrideCsr,
     };
     pub use crate::multivec::MultiVec;
     pub use crate::partition::{MergeSegment, Partition, Partition2d};
     pub use crate::pool::ExecCtx;
     pub use crate::schedule::Schedule;
+    pub use crate::sss::SssCsr;
 }
 
 pub use prelude::*;

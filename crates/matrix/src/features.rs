@@ -13,6 +13,13 @@
 //!   of consecutive column indices;
 //! - `misses_i` — nonzeros whose column distance from their predecessor in
 //!   the row exceeds the elements per cache line (naive cache-miss proxy).
+//!
+//! Beyond Table I, the record carries the **symmetry features** the
+//! symmetric-storage optimization keys on: `symmetry_share` (fraction of
+//! off-diagonal nonzeros with an exact transposed partner) and the derived
+//! binary `is_symmetric`. Without them a symmetric MB matrix is
+//! indistinguishable from a general one and the classifier can never
+//! propose the SSS traffic halver.
 
 use sparseopt_core::csr::CsrMatrix;
 
@@ -48,6 +55,13 @@ pub struct MatrixFeatures {
     pub clustering_avg: f64,
     /// mean of `misses_i` (Θ(NNZ)).
     pub misses_avg: f64,
+    /// Fraction of off-diagonal nonzeros whose exact symmetric partner
+    /// exists (`Θ(NNZ · log max_nnz_i)`; 0 for non-square matrices, 1 for
+    /// symmetric ones) — see [`sparseopt_core::sss::symmetry_share`].
+    pub symmetry_share: f64,
+    /// 1 if the matrix is square and exactly symmetric, else 0. Gates the
+    /// SSS storage optimization (MB class).
+    pub is_symmetric: f64,
 }
 
 impl MatrixFeatures {
@@ -94,6 +108,7 @@ impl MatrixFeatures {
 
         // Working set: matrix footprint + x + y vectors.
         let working_set = csr.footprint_bytes() + (csr.ncols() + csr.nrows()) * 8;
+        let symmetry_share = sparseopt_core::sss::symmetry_share(csr);
         Self {
             size_fits_llc: if working_set <= llc_bytes { 1.0 } else { 0.0 },
             density: if n == 0 {
@@ -119,6 +134,12 @@ impl MatrixFeatures {
                 clustering_sum / n as f64
             },
             misses_avg: if n == 0 { 0.0 } else { misses_sum / n as f64 },
+            symmetry_share,
+            is_symmetric: if n == csr.ncols() && symmetry_share == 1.0 {
+                1.0
+            } else {
+                0.0
+            },
         }
     }
 
@@ -152,6 +173,8 @@ impl MatrixFeatures {
             "scatter_sd" | "dispersion_sd" => self.scatter_sd,
             "clustering_avg" => self.clustering_avg,
             "misses_avg" => self.misses_avg,
+            "symmetry_share" => self.symmetry_share,
+            "is_symmetric" => self.is_symmetric,
             _ => return None,
         })
     }
@@ -190,6 +213,11 @@ impl FeatureSet {
                 "nnz_sd",
                 "misses_avg",
                 "dispersion_sd",
+                // Beyond Table IV: the symmetry feature (same Θ(NNZ)-ish
+                // tier) lets the trained tree separate symmetric MB
+                // matrices, whose remediation is SSS storage rather than
+                // delta compression.
+                "symmetry_share",
             ],
         }
     }
@@ -346,6 +374,27 @@ mod tests {
         assert_eq!(f.get(""), None);
         assert_eq!(f.get("density"), Some(f.density));
         assert_eq!(f.get("dispersion_avg"), Some(f.scatter_avg));
+    }
+
+    #[test]
+    fn symmetry_features_separate_symmetric_from_general() {
+        // Poisson stencils are exactly symmetric; the banded generator's
+        // hashed values are not (same pattern, mismatched values).
+        let sym = CsrMatrix::from_coo(&generators::poisson2d(20, 20));
+        let f = MatrixFeatures::extract(&sym, LLC);
+        assert_eq!(f.symmetry_share, 1.0);
+        assert_eq!(f.is_symmetric, 1.0);
+        assert_eq!(f.get("is_symmetric"), Some(1.0));
+
+        let gen = CsrMatrix::from_coo(&generators::banded(200, 2));
+        let f = MatrixFeatures::extract(&gen, LLC);
+        assert!(f.is_symmetric == 0.0 && f.symmetry_share < 1.0);
+
+        let explicit = CsrMatrix::from_coo(&generators::symmetric_banded(200, 2));
+        let f = MatrixFeatures::extract(&explicit, LLC);
+        assert_eq!(f.is_symmetric, 1.0);
+        // The O(NNZ) feature set carries the symmetry signal.
+        assert!(FeatureSet::LinearInNnz.names().contains(&"symmetry_share"));
     }
 
     #[test]

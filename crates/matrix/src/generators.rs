@@ -9,6 +9,8 @@
 //! |---|---|---|
 //! | [`dense`] | fully dense rows | CMP (small) / MB (large) |
 //! | [`banded`] | narrow diagonal band | MB |
+//! | [`symmetric_banded`] | exactly symmetric SPD band | MB (SSS storage) |
+//! | [`symmetric_power_law`] | symmetrized scale-free + dominant diagonal | ML/IMB, symmetric |
 //! | [`poisson3d`] | 7-point FEM stencil | MB |
 //! | [`blocked_fem`] | small dense blocks on a band | MB/CMP |
 //! | [`random_uniform`] | uniformly scattered columns | ML |
@@ -50,6 +52,48 @@ pub fn banded(n: usize, band: usize) -> CooMatrix {
                 },
             );
         }
+    }
+    coo
+}
+
+/// Symmetric banded matrix: the [`banded`] structure with exactly mirrored
+/// off-diagonal values and a dominant diagonal (SPD by Gershgorin) — the
+/// canonical input of the symmetric-storage (SSS) MB optimization and of
+/// CG/eigensolver consumers.
+pub fn symmetric_banded(n: usize, band: usize) -> CooMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0 * band as f64 + 1.0);
+        for j in i.saturating_sub(band)..i {
+            // One value per unordered pair, pushed for both orientations, so
+            // the matrix is *exactly* symmetric (bitwise-equal mirrors).
+            let v = value_for(j, i);
+            coo.push(i, j, v);
+            coo.push(j, i, v);
+        }
+    }
+    coo
+}
+
+/// Symmetric power-law matrix: the [`power_law`] background symmetrized
+/// (`A + Aᵀ` with one accumulated value per unordered pair) plus a dominant
+/// diagonal, yielding an SPD scale-free matrix — the "symmetric graph
+/// Laplacian-like" shape eigensolvers and CG consume. Values are exactly
+/// mirrored, so [`sparseopt_core::sss::SssCsr::try_from_csr`] accepts it.
+pub fn symmetric_power_law(n: usize, avg_nnz_per_row: usize, seed: u64) -> CooMatrix {
+    let base = power_law(n, avg_nnz_per_row, 0.9, seed);
+    // The shared canonical projection sums duplicates per unordered pair
+    // *before* mirroring, so the two orientations are bitwise equal; base
+    // diagonal entries are dropped in favor of the dominant diagonal below.
+    let offdiag: Vec<(usize, usize, f64)> = base.iter().filter(|&(r, c, _)| r != c).collect();
+    let mut coo = CooMatrix::new(n, n);
+    let mut row_abs = vec![0.0f64; n];
+    for (r, c, v) in sparseopt_core::sss::symmetrize_triplets(&offdiag) {
+        coo.push(r, c, v);
+        row_abs[r] += v.abs();
+    }
+    for (i, &s) in row_abs.iter().enumerate() {
+        coo.push(i, i, s + 1.0);
     }
     coo
 }
@@ -407,6 +451,34 @@ mod tests {
             max > 4.0 * avg,
             "rmat should be skewed (max {max}, avg {avg})"
         );
+    }
+
+    #[test]
+    fn symmetric_generators_are_exactly_symmetric() {
+        use sparseopt_core::sss::{is_symmetric, SssCsr};
+        let band = CsrMatrix::from_coo(&symmetric_banded(300, 3));
+        assert!(is_symmetric(&band));
+        assert!(SssCsr::try_from_csr(&band).is_some());
+        // Diagonally dominant (SPD by Gershgorin).
+        for i in 0..300 {
+            let diag = band.diagonal()[i];
+            let off: f64 = band.row_vals(i).iter().map(|v| v.abs()).sum::<f64>() - diag.abs();
+            assert!(diag > off, "row {i}: {diag} vs {off}");
+        }
+
+        let pl = CsrMatrix::from_coo(&symmetric_power_law(500, 4, 7));
+        assert!(is_symmetric(&pl));
+        assert!(SssCsr::try_from_csr(&pl).is_some());
+        for i in 0..500 {
+            let diag = pl.diagonal()[i];
+            let off: f64 = pl.row_vals(i).iter().map(|v| v.abs()).sum::<f64>() - diag.abs();
+            assert!(diag > off - 1e-12, "row {i}: {diag} vs {off}");
+        }
+        // Still scale-free: the skew of the background survives.
+        let lens: Vec<usize> = (0..500).map(|i| pl.row_nnz(i)).collect();
+        let max = *lens.iter().max().unwrap() as f64;
+        let avg = pl.nnz() as f64 / 500.0;
+        assert!(max > 4.0 * avg, "max {max} vs avg {avg}");
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub fn conversion_cost_spmv(opt: Optimization) -> f64 {
     match opt {
         // Delta encoding: width scan + encode pass + copy.
         Optimization::CompressVectorize => 3.0,
+        // Triangle split: exact symmetry verification (one binary search
+        // per off-diagonal element) + lower-triangle rebuild + the windowed
+        // scatter-plan construction — slightly cheaper than delta encoding
+        // (no per-element re-encoding), dearer than decomposition.
+        Optimization::SymCompress => 2.5,
         // Decomposition: long-row scan + array rebuild.
         Optimization::Decompose => 2.0,
         // Merge-path split: `nthreads · log nrows` diagonal searches plus
@@ -96,8 +101,10 @@ impl OptimizerKind {
         all_pair_cost: f64,
     ) -> f64 {
         let selected_cost = plan_conversion_cost_spmv(selected) + JIT_COST_SPMV;
-        // Candidate counts follow the pool size (6 singles, 6 + C(6,2) = 21
-        // single+pair combinations since the merge split joined the pool).
+        // Candidate counts follow the pool size (7 singles, 7 + C(7,2) = 28
+        // single+pair combinations since the merge split and the symmetric
+        // triangle split joined the pool; on asymmetric matrices the sweep
+        // skips sym-compress, which this upper bound conservatively keeps).
         let n = Optimization::ALL.len() as f64;
         let n_combined = n + n * (n - 1.0) / 2.0;
         match self {

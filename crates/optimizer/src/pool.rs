@@ -3,7 +3,7 @@
 //!
 //! | class | optimization |
 //! |---|---|
-//! | MB | column-index delta compression + vectorization |
+//! | MB | symmetric (SSS) storage *or* column-index delta compression, + vectorization |
 //! | ML | software prefetching on `x` |
 //! | IMB | merge-path nonzero split, matrix decomposition, *or* OpenMP-style auto scheduling |
 //! | CMP | inner-loop unrolling + vectorization |
@@ -15,6 +15,12 @@
 //! variance (`nnz_sd` beyond [`MERGE_SD_SKEW`]`·nnz_avg`) ⇒ merge-path
 //! nonzero split; highly uneven row lengths below that (`nnz_max` vs
 //! `nnz_avg`) ⇒ decomposition; computational unevenness ⇒ auto scheduling.
+//!
+//! The MB subcategory choice is the symmetric extension: an **exactly
+//! symmetric** matrix (`features.is_symmetric`) takes the SSS triangle
+//! split — each stored off-diagonal element is streamed once and used twice,
+//! halving the matrix line traffic where delta compression only shaves the
+//! index stream — and an asymmetric one keeps delta compression.
 
 use sparseopt_classifier::{Bottleneck, ClassSet};
 use sparseopt_core::prelude::*;
@@ -28,6 +34,10 @@ use std::sync::Arc;
 pub enum Optimization {
     /// Delta-compress column indices + vectorize (MB).
     CompressVectorize,
+    /// Symmetric (SSS) storage — lower triangle + diagonal only — +
+    /// vectorize (MB, symmetric matrices): the other classic traffic
+    /// halver, cutting the value stream too, not just the index stream.
+    SymCompress,
     /// Software prefetching on `x` (ML).
     Prefetch,
     /// Split out long rows (IMB, uneven row lengths).
@@ -43,9 +53,10 @@ pub enum Optimization {
 
 impl Optimization {
     /// All pool members: the paper's "total of 5" plus the merge-path
-    /// nonzero split.
-    pub const ALL: [Optimization; 6] = [
+    /// nonzero split and the symmetric-storage compression.
+    pub const ALL: [Optimization; 7] = [
         Optimization::CompressVectorize,
+        Optimization::SymCompress,
         Optimization::Prefetch,
         Optimization::Decompose,
         Optimization::MergeSplit,
@@ -57,6 +68,7 @@ impl Optimization {
     pub fn label(self) -> &'static str {
         match self {
             Optimization::CompressVectorize => "compress+vec",
+            Optimization::SymCompress => "sym-compress",
             Optimization::Prefetch => "prefetch",
             Optimization::Decompose => "decompose",
             Optimization::MergeSplit => "merge-split",
@@ -68,7 +80,7 @@ impl Optimization {
     /// The class this optimization addresses (Table II row).
     pub fn target_class(self) -> Bottleneck {
         match self {
-            Optimization::CompressVectorize => Bottleneck::Mb,
+            Optimization::CompressVectorize | Optimization::SymCompress => Bottleneck::Mb,
             Optimization::Prefetch => Bottleneck::Ml,
             Optimization::Decompose | Optimization::MergeSplit | Optimization::AutoSchedule => {
                 Bottleneck::Imb
@@ -109,7 +121,14 @@ pub const VECTOR_MIN_AVG_ROW: f64 = 8.0;
 pub fn select_optimizations(classes: ClassSet, features: &MatrixFeatures) -> Vec<Optimization> {
     let mut opts = Vec::new();
     if classes.contains(Bottleneck::Mb) {
-        opts.push(Optimization::CompressVectorize);
+        // MB subcategory: an exactly symmetric matrix halves the whole
+        // matrix stream with the SSS triangle split; anything else can only
+        // shave the index stream with delta compression.
+        if features.is_symmetric > 0.5 {
+            opts.push(Optimization::SymCompress);
+        } else {
+            opts.push(Optimization::CompressVectorize);
+        }
     }
     if classes.contains(Bottleneck::Ml) {
         opts.push(Optimization::Prefetch);
@@ -214,7 +233,9 @@ impl OptimizationPlan {
         let wants_vector = optimizations.iter().any(|o| {
             matches!(
                 o,
-                Optimization::CompressVectorize | Optimization::UnrollVectorize
+                Optimization::CompressVectorize
+                    | Optimization::SymCompress
+                    | Optimization::UnrollVectorize
             )
         });
         let inner = if !wants_vector {
@@ -266,6 +287,8 @@ impl OptimizationPlan {
             SimFormat::MergeCsr
         } else if let Some(t) = self.decompose_threshold {
             SimFormat::Decomposed { threshold: t }
+        } else if has(Optimization::SymCompress) {
+            SimFormat::SymCsr
         } else if has(Optimization::CompressVectorize) {
             SimFormat::DeltaCsr
         } else {
@@ -288,11 +311,16 @@ impl OptimizationPlan {
     /// host. Precedence when format/partitioning-changing optimizations
     /// collide: the merge-path nonzero split wins over decomposition (it
     /// subsumes the long-row remediation without a format conversion),
-    /// which wins over compression (a decomposed matrix keeps plain
-    /// indices). Every format operator covers the full
-    /// `{NoTrans, Trans} × {vec, multivec}` space, so the result serves any
-    /// consumer; [`Self::build_host_op`] additionally checks an explicit
-    /// requirement set.
+    /// which wins over the symmetric triangle split, which wins over delta
+    /// compression (a decomposed matrix keeps plain indices). A
+    /// `sym-compress` plan built against a matrix that turns out not to be
+    /// exactly symmetric (possible only through the blind
+    /// [`OptimizationPlan::from_optimizations`] path — the class-derived
+    /// selection gates on `features.is_symmetric`) degrades to delta
+    /// compression, the other MB remediation. Every format operator covers
+    /// the full `{NoTrans, Trans} × {vec, multivec}` space, so the result
+    /// serves any consumer; [`Self::build_host_op`] additionally checks an
+    /// explicit requirement set.
     pub fn build_host_kernel(
         &self,
         csr: &Arc<CsrMatrix>,
@@ -314,6 +342,16 @@ impl OptimizationPlan {
         } else if let Some(threshold) = self.decompose_threshold {
             let dec = Arc::new(DecomposedCsrMatrix::from_csr(csr, threshold));
             Box::new(DecomposedKernel::new(dec, inner, prefetch, schedule, ctx))
+        } else if has(Optimization::SymCompress) {
+            match SssCsr::try_from_csr(csr) {
+                Some(sss) => Box::new(SymCsr::new(Arc::new(sss), inner, prefetch, ctx)),
+                // Blindly-assembled plan on an asymmetric matrix: degrade to
+                // the other MB remediation instead of computing nonsense.
+                None => {
+                    let delta = Arc::new(DeltaCsrMatrix::from_csr(csr));
+                    Box::new(DeltaKernel::new(delta, inner, prefetch, schedule, ctx))
+                }
+            }
         } else if has(Optimization::CompressVectorize) {
             let delta = Arc::new(DeltaCsrMatrix::from_csr(csr));
             Box::new(DeltaKernel::new(delta, inner, prefetch, schedule, ctx))
@@ -367,21 +405,34 @@ impl OptimizationPlan {
     }
 }
 
-/// All single-optimization plans (the paper's trivial-single sweep over the
-/// 5 Table II members, widened to 6 by the merge split).
-pub fn single_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
+/// The pool members applicable to one matrix: `sym-compress` only enters a
+/// sweep when the matrix is exactly symmetric — on anything else its
+/// operator cannot even be built, so enumerating (and simulating) it would
+/// let the oracle pick a plan that can never run.
+fn applicable_pool(features: &MatrixFeatures) -> Vec<Optimization> {
     Optimization::ALL
         .iter()
-        .map(|&o| OptimizationPlan::from_optimizations(&[o], features))
+        .copied()
+        .filter(|&o| o != Optimization::SymCompress || features.is_symmetric > 0.5)
+        .collect()
+}
+
+/// All single-optimization plans (the paper's trivial-single sweep over the
+/// 5 Table II members, widened by the merge split and — for symmetric
+/// matrices — the SSS triangle split: 6 or 7 singles).
+pub fn single_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
+    applicable_pool(features)
+        .into_iter()
+        .map(|o| OptimizationPlan::from_optimizations(&[o], features))
         .collect()
 }
 
 /// All singles plus every pair — the paper's trivial-combined sweep
-/// ("combinations of 2"), now 6 + C(6,2) = 21 plans with the merge split in
-/// the pool.
+/// ("combinations of 2"): 6 + C(6,2) = 21 plans on a general matrix,
+/// 7 + C(7,2) = 28 on a symmetric one.
 pub fn single_and_pair_plans(features: &MatrixFeatures) -> Vec<OptimizationPlan> {
     let mut plans = single_plans(features);
-    let all = Optimization::ALL;
+    let all = applicable_pool(features);
     for i in 0..all.len() {
         for j in i + 1..all.len() {
             // The IMB remediations are alternatives for the same class;
@@ -474,11 +525,73 @@ mod tests {
 
     #[test]
     fn plan_counts_cover_the_widened_pool() {
-        // The paper's 5 + merge split = 6 singles, plus C(6,2) pairs.
+        // Asymmetric matrix: the paper's 5 + merge split = 6 singles, plus
+        // C(6,2) pairs (sym-compress is inapplicable and filtered out).
         let m = CsrMatrix::from_coo(&g::banded(300, 1));
         let f = feats(&m);
+        assert_eq!(f.is_symmetric, 0.0);
         assert_eq!(single_plans(&f).len(), 6);
         assert_eq!(single_and_pair_plans(&f).len(), 21);
+
+        // Symmetric matrix: the SSS triangle split joins the sweep.
+        let m = CsrMatrix::from_coo(&g::poisson2d(20, 20));
+        let f = feats(&m);
+        assert_eq!(f.is_symmetric, 1.0);
+        assert_eq!(single_plans(&f).len(), 7);
+        assert_eq!(single_and_pair_plans(&f).len(), 28);
+    }
+
+    #[test]
+    fn mb_picks_sym_compress_on_symmetric_matrices_only() {
+        let mb = ClassSet::from_classes(&[Bottleneck::Mb]);
+
+        let sym = CsrMatrix::from_coo(&g::symmetric_banded(2000, 3));
+        let f = feats(&sym);
+        let opts = select_optimizations(mb, &f);
+        assert_eq!(opts, vec![Optimization::SymCompress]);
+        let plan = OptimizationPlan::from_classes(mb, &f);
+        assert_eq!(plan.to_sim_config().format, SimFormat::SymCsr);
+        let csr = Arc::new(sym);
+        let op = plan.build_host_kernel(&csr, ExecCtx::new(2));
+        assert!(op.name().starts_with("sym-sss"), "got {}", op.name());
+        // And it computes the right product.
+        let x: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut y = vec![f64::NAN; 2000];
+        op.spmv(&x, &mut y);
+        let mut want = vec![0.0; 2000];
+        SerialCsr::new(csr.clone()).spmv(&x, &mut want);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+
+        // Asymmetric MB matrix keeps delta compression.
+        let gen = CsrMatrix::from_coo(&g::banded(2000, 3));
+        let f = feats(&gen);
+        assert_eq!(
+            select_optimizations(mb, &f),
+            vec![Optimization::CompressVectorize]
+        );
+    }
+
+    #[test]
+    fn blind_sym_compress_plan_degrades_to_delta_on_asymmetric_matrix() {
+        // Only the blind from_optimizations path can pair sym-compress with
+        // an asymmetric matrix; the build must fall back to the other MB
+        // remediation rather than panic or compute with a wrong matrix.
+        let m = CsrMatrix::from_coo(&g::random_uniform(500, 4, 9));
+        let f = feats(&m);
+        let plan = OptimizationPlan::from_optimizations(&[Optimization::SymCompress], &f);
+        let csr = Arc::new(m);
+        let op = plan.build_host_kernel(&csr, ExecCtx::new(2));
+        assert!(op.name().starts_with("csr-delta"), "got {}", op.name());
+        let x: Vec<f64> = (0..500).map(|i| 0.5 + (i as f64 * 0.3).cos()).collect();
+        let mut y = vec![f64::NAN; 500];
+        op.spmv(&x, &mut y);
+        let mut want = vec![0.0; 500];
+        SerialCsr::new(csr.clone()).spmv(&x, &mut want);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
     }
 
     #[test]

@@ -150,6 +150,50 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_storage_operator_solves_identically() {
+        // CG is *the* consumer of the SSS format: symmetric systems are
+        // what it solves, and every iteration streams half the matrix
+        // bytes. The solution must match the full-CSR operator's exactly
+        // (same Krylov trajectory up to floating-point noise).
+        let a = poisson(24, 24);
+        let sss = Arc::new(SssCsr::try_from_csr(&a).expect("Poisson is symmetric"));
+        assert!(sss.footprint_bytes() < a.footprint_bytes());
+        let sym = SymCsr::baseline(sss, ExecCtx::new(3));
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let opts = SolverOptions {
+            tol: 1e-9,
+            max_iters: 2000,
+        };
+
+        let mut x_sym = vec![0.0; n];
+        let out_sym = cg(&sym, &b, &mut x_sym, &IdentityPrecond, &opts);
+        assert!(
+            out_sym.converged,
+            "CG over SymCsr must converge: {out_sym:?}"
+        );
+
+        let mut x_csr = vec![0.0; n];
+        let out_csr = cg(
+            &SerialCsr::new(a.clone()),
+            &b,
+            &mut x_csr,
+            &IdentityPrecond,
+            &opts,
+        );
+        assert!(out_csr.converged);
+        assert!(
+            out_sym.iterations <= out_csr.iterations + 2,
+            "same operator, same trajectory: {} vs {}",
+            out_sym.iterations,
+            out_csr.iterations
+        );
+        for (i, (p, q)) in x_sym.iter().zip(&x_csr).enumerate() {
+            assert!((p - q).abs() < 1e-6 * (1.0 + q.abs()), "x[{i}]: {p} vs {q}");
+        }
+    }
+
+    #[test]
     fn reports_nonconvergence() {
         let a = poisson(16, 16);
         let kernel = SerialCsr::new(a.clone());

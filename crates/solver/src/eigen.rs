@@ -238,6 +238,37 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_storage_operator_finds_the_same_eigenpair() {
+        // The power method over SymCsr: eigensolvers consume symmetric
+        // matrices by definition, so the SSS operator is their natural
+        // kernel. Same dominant eigenvalue as the full-CSR operator.
+        use sparseopt_core::pool::ExecCtx;
+        use sparseopt_core::sss::SssCsr;
+        use sparseopt_core::SymCsr;
+        use sparseopt_matrix::generators as g;
+
+        let csr = Arc::new(CsrMatrix::from_coo(&g::symmetric_power_law(600, 3, 5)));
+        let sss = Arc::new(SssCsr::try_from_csr(&csr).expect("generator is symmetric"));
+        let sym = SymCsr::baseline(sss, ExecCtx::new(2));
+
+        let mut v: Vec<f64> = (0..600).map(|i| 1.0 + (i as f64 * 0.17).sin()).collect();
+        let out_sym = power_method(&sym, &mut v, 1e-9, 20_000);
+        assert!(out_sym.converged, "{out_sym:?}");
+
+        let full = SerialCsr::new(csr);
+        let mut w: Vec<f64> = (0..600).map(|i| 1.0 + (i as f64 * 0.17).sin()).collect();
+        let out_full = power_method(&full, &mut w, 1e-9, 20_000);
+        assert!(out_full.converged);
+        assert!(
+            (out_sym.eigenvalue - out_full.eigenvalue).abs()
+                < 1e-6 * out_full.eigenvalue.abs().max(1.0),
+            "λ_sym {} vs λ_csr {}",
+            out_sym.eigenvalue,
+            out_full.eigenvalue
+        );
+    }
+
+    #[test]
     fn nonconvergence_is_reported() {
         // Two equal dominant eigenvalues of opposite sign never converge.
         let a = diag(&[3.0, -3.0, 1.0]);

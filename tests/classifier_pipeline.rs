@@ -224,6 +224,84 @@ fn imb_pool_proposes_merge_csr_for_power_law_hub() {
 }
 
 #[test]
+fn both_classifier_paths_propose_sym_compress_for_symmetric_banded_mb() {
+    // Acceptance shape: a memory-resident, exactly symmetric banded matrix —
+    // the canonical MB class member whose remediation should now be the SSS
+    // triangle split (halved matrix stream) rather than delta compression —
+    // proposed by *both* classifier paths.
+    use sparseopt::classifier::LabeledMatrix;
+    use sparseopt::matrix::generators as g;
+    use sparseopt::ml::TreeParams;
+
+    let csr = arc(g::symmetric_banded(150_000, 12));
+    let features = MatrixFeatures::extract(&csr, 30 * 1024 * 1024);
+    assert_eq!(features.is_symmetric, 1.0, "generator must be symmetric");
+
+    let profiler = SimBoundsProfiler::new(Platform::knc());
+    let ctx = ExecCtx::new(2);
+
+    // Profile-guided path: bounds → MB → sym-compress plan → SymCsr op.
+    let classes = ProfileGuidedClassifier::new().classify(&profiler.measure(&csr));
+    assert!(classes.contains(Bottleneck::Mb), "got {classes}");
+    let plan = OptimizationPlan::from_classes(classes, &features);
+    assert!(
+        plan.optimizations.contains(&Optimization::SymCompress),
+        "plan was {}",
+        plan.label()
+    );
+    assert_eq!(
+        plan.to_sim_config().format,
+        sparseopt::sim::SimFormat::SymCsr
+    );
+    let op = plan.build_host_kernel(&csr, ctx.clone());
+    assert!(op.name().starts_with("sym-sss"), "got {}", op.name());
+
+    // Feature-guided path: train on the standard corpus plus large
+    // profiler-labeled bands (the MB exemplars at this scale), then the tree
+    // must carry MB — and therefore the same sym-compress plan — to the
+    // acceptance matrix's features.
+    let pgc = ProfileGuidedClassifier::new();
+    let mut samples: Vec<LabeledMatrix> = corpus()
+        .into_iter()
+        .map(|(name, m)| LabeledMatrix {
+            features: MatrixFeatures::extract(&m, 30 * 1024 * 1024),
+            classes: pgc.classify(&profiler.measure(&m)),
+            name,
+        })
+        .collect();
+    for (i, n) in [60_000usize, 90_000, 120_000, 180_000]
+        .into_iter()
+        .enumerate()
+    {
+        let m = arc(g::symmetric_banded(n, 8 + 2 * i));
+        samples.push(LabeledMatrix {
+            features: MatrixFeatures::extract(&m, 30 * 1024 * 1024),
+            classes: pgc.classify(&profiler.measure(&m)),
+            name: format!("symband{i}"),
+        });
+    }
+    let clf =
+        FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+    let feat_classes = clf.classify(&features);
+    assert!(
+        feat_classes.contains(Bottleneck::Mb),
+        "feature-guided classes: {feat_classes}"
+    );
+    let feat_plan = OptimizationPlan::from_classes(feat_classes, &features);
+    assert!(
+        feat_plan.optimizations.contains(&Optimization::SymCompress),
+        "feature-guided plan was {}",
+        feat_plan.label()
+    );
+    let feat_op = feat_plan.build_host_kernel(&csr, ctx);
+    assert!(
+        feat_op.name().starts_with("sym-sss"),
+        "got {}",
+        feat_op.name()
+    );
+}
+
+#[test]
 fn classification_is_deterministic() {
     let profiler = SimBoundsProfiler::new(Platform::knl());
     let classifier = ProfileGuidedClassifier::new();

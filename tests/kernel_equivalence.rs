@@ -1,7 +1,8 @@
 //! Property-based cross-crate invariant: every kernel in the library —
-//! all CSR configurations, delta-compressed, decomposed, and every
-//! optimizer-built plan — computes the same `y = A·x` as the serial
-//! reference on arbitrary sparse matrices.
+//! all CSR configurations, delta-compressed, decomposed, merge-path,
+//! symmetric-storage (on the symmetrized input), and every optimizer-built
+//! plan — computes the same `y = A·x` as the serial reference on arbitrary
+//! sparse matrices.
 
 use proptest::prelude::*;
 use sparseopt::core::CsrKernelConfig;
@@ -73,6 +74,19 @@ fn check_all_formats_against_dense(n: usize, entries: &[(usize, usize, f64)]) {
         let mut y = vec![f64::NAN; n];
         MergeCsr::baseline(csr.clone(), ExecCtx::new(nthreads)).spmv(&x, &mut y);
         run(&format!("merge-csr-t{nthreads}"), &y);
+    }
+
+    // Symmetric storage cannot represent an arbitrary matrix; check it on
+    // the symmetrized variant (the shared canonical projection, whose
+    // mirrored values are exactly equal) against its own dense reference.
+    let sym_entries = sparseopt::core::sss::symmetrize_triplets(entries);
+    let want_sym = dense_spmv(n, &sym_entries, &x);
+    let scsr = build(n, &sym_entries);
+    let sss = Arc::new(SssCsr::try_from_csr(&scsr).expect("symmetrized input"));
+    for nthreads in [1usize, 2, 5] {
+        let mut y = vec![f64::NAN; n];
+        SymCsr::baseline(sss.clone(), ExecCtx::new(nthreads)).spmv(&x, &mut y);
+        assert_close(&format!("sym-sss-t{nthreads}"), &y, &want_sym);
     }
 }
 

@@ -1,8 +1,9 @@
 //! Property-based cross-crate invariant for the operator layer's transposed
 //! application: every format's [`SparseLinOp`] — CSR (all schedules),
 //! delta-compressed (both widths), BCSR (several block shapes), ELL,
-//! decomposed, and merge-path — computes the same `Y = Aᵀ·X` as the dense
-//! `Aᵀx` reference,
+//! decomposed, merge-path, and symmetric-storage (on the symmetrized
+//! square input) — computes the same `Y = Aᵀ·X` as the dense `Aᵀx`
+//! reference,
 //! for k ∈ {1, 3, 8}, on rectangular matrices and the edge cases every
 //! format must survive (empty rows, single rows, duplicate entries).
 
@@ -94,10 +95,19 @@ fn op_zoo(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<Box<dyn SparseLinOp>>
 }
 
 /// Runs every operator × every width against the dense `Aᵀx` reference on
-/// one matrix given as raw triplets.
+/// one matrix given as raw triplets. The symmetric-storage operator joins
+/// on the square symmetrized variant of the same triplets (`Aᵀ = A` there,
+/// so its transposed application must equal the dense transpose — which is
+/// the dense forward — of the symmetrized matrix).
 fn check_all_ops_against_dense(nrows: usize, ncols: usize, entries: &[(usize, usize, f64)]) {
     let csr = build(nrows, ncols, entries);
     let ctx = ExecCtx::new(3);
+
+    let m = nrows.max(ncols);
+    let sym_entries = sparseopt::core::sss::symmetrize_triplets(entries);
+    let scsr = build(m, m, &sym_entries);
+    let sss = Arc::new(SssCsr::try_from_csr(&scsr).expect("symmetrized input"));
+
     for &k in &WIDTHS {
         // Transposed application: the input lives on the row side.
         let x = MultiVec::from_fn(nrows, k, |i, j| {
@@ -120,6 +130,15 @@ fn check_all_ops_against_dense(nrows: usize, ncols: usize, entries: &[(usize, us
                 }
             }
         }
+
+        let xs = MultiVec::from_fn(m, k, |i, j| 0.5 + ((i * 11 + j * 7) as f64 * 0.37).sin());
+        let want_sym = dense_spmm_t(m, &sym_entries, &xs);
+        let sym = SymCsr::baseline(sss.clone(), ctx.clone());
+        assert!(sym.capabilities().transpose);
+        let mut y = MultiVec::zeros(m, k);
+        y.fill(f64::NAN);
+        sym.apply_multi(Apply::Trans, &xs, &mut y);
+        assert_close(&format!("{} k={k}", sym.name()), &y, &want_sym);
     }
 }
 
