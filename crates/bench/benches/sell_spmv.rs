@@ -1,0 +1,71 @@
+//! Criterion group for the SELL-C-σ operator: the unrolled and AVX2 chunk
+//! kernels against scalar and per-row-SIMD CSR, on the shapes the SIMD
+//! regression was diagnosed on — a short-row banded matrix (where per-row
+//! gather SIMD loses worst), a 5-point Poisson stencil, and a power-law
+//! matrix with hub rows (the padding stress case for sliced ELLPACK).
+//!
+//! The `ci_bench` no-loss gate repeats these comparisons as pinned
+//! regression checks; `tests/sell_equivalence.rs` pins correctness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::generators as g;
+use std::sync::Arc;
+
+fn bench_sell_spmv(c: &mut Criterion) {
+    let ctx = ExecCtx::host();
+    let cases: Vec<(&str, Arc<CsrMatrix>)> = vec![
+        (
+            "banded-20k-b4",
+            Arc::new(CsrMatrix::from_coo(&g::banded(20_000, 4))),
+        ),
+        (
+            "poisson2d-96",
+            Arc::new(CsrMatrix::from_coo(&g::poisson2d(96, 96))),
+        ),
+        (
+            "powerlaw-hub-8k",
+            Arc::new(CsrMatrix::from_coo(&g::power_law_hub(8192, 2, 11))),
+        ),
+    ];
+
+    for (name, csr) in &cases {
+        let mut group = c.benchmark_group(format!("sell_spmv/{name}"));
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.sample_size(20);
+
+        let x = vec![1.0f64; csr.ncols()];
+        let mut y = vec![0.0f64; csr.nrows()];
+
+        let base = ParallelCsr::baseline(csr.clone(), ctx.clone());
+        group.bench_function("csr-baseline", |b| b.iter(|| base.spmv(&x, &mut y)));
+
+        let simd_cfg = sparseopt_core::CsrKernelConfig {
+            inner: InnerLoop::Simd,
+            ..sparseopt_core::CsrKernelConfig::baseline()
+        };
+        let csr_simd = ParallelCsr::new(csr.clone(), simd_cfg, ctx.clone());
+        group.bench_function("csr-simd", |b| b.iter(|| csr_simd.spmv(&x, &mut y)));
+
+        let sell = Arc::new(SellMatrix::from_csr(csr));
+        let unrolled = SellKernel::new(sell.clone(), false, ctx.clone());
+        group.bench_function("sell-unrolled", |b| b.iter(|| unrolled.spmv(&x, &mut y)));
+
+        let vectorized = SellKernel::vectorized(sell.clone(), ctx.clone());
+        group.bench_function("sell-vectorized", |b| {
+            b.iter(|| vectorized.spmv(&x, &mut y))
+        });
+
+        // The multi-vector path reuses the chunk layout with a column tile.
+        let xm = MultiVec::from_fn(csr.ncols(), 8, |i, j| {
+            0.5 + ((i * 7 + j) as f64 * 0.19).sin()
+        });
+        let mut ym = MultiVec::zeros(csr.nrows(), 8);
+        group.bench_function("sell-spmm-k8", |b| b.iter(|| vectorized.spmm(&xm, &mut ym)));
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sell_spmv);
+criterion_main!(benches);

@@ -7,7 +7,16 @@
 //! needs a per-PR filename edit), and exits nonzero if any
 //! (matrix, kernel) pair regresses more than the tolerance (default 15%,
 //! override with `--tolerance` or `SPARSEOPT_BENCH_TOLERANCE`) against the
-//! committed `BENCH_BASELINE.json`.
+//! committed `BENCH_BASELINE.json`. A pair that lands below its floor is
+//! re-measured up to [`RETRIES`] times before the tier fails, so transient
+//! scheduler noise on shared hosts cannot fail the gate while a genuine
+//! collapse (which reproduces on every retry) still does.
+//!
+//! Two acceptance comparisons ride on top of the drift band. The
+//! **vectorization no-loss gate** is unconditional: on every suite matrix
+//! the best vectorized kernel (the SELL-C-σ operator or the length-bucketed
+//! `csr-simd`) must reach ≥ 1.0× the scalar `csr-baseline` — the CMP
+//! class's "vectorize" prescription must never make a matrix slower.
 //!
 //! It additionally enforces the merge-path acceptance comparison —
 //! `MergeCsr` must beat the best whole-row CSR schedule on the power-law
@@ -41,6 +50,15 @@ const BATCH_SECS: f64 = 0.02;
 /// Timed batches per measurement; the best (minimum) batch is reported, the
 /// standard robust estimator for wall-clock microbenchmarks on shared CI.
 const BATCHES: usize = 5;
+
+/// Re-measurements granted to a (matrix, kernel) pair that lands below its
+/// regression floor before the tier fails. Virtualized single-core CI hosts
+/// wobble 20–30% run to run — more than any tolerance band that would still
+/// catch a real collapse — but the noise is transient: a genuine regression
+/// reproduces on every retry, while a scheduler hiccup clears on the first.
+/// Retried values only affect the verdict; the trajectory file keeps the
+/// first measurement.
+const RETRIES: usize = 2;
 
 struct Entry {
     matrix: String,
@@ -113,6 +131,13 @@ fn kernels(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<(&'static str, Box<d
         (
             "csr-simd",
             Box::new(ParallelCsr::new(csr.clone(), simd, ctx.clone())),
+        ),
+        (
+            "sell",
+            Box::new(SellKernel::vectorized(
+                Arc::new(SellMatrix::from_csr(csr)),
+                ctx.clone(),
+            )),
         ),
         (
             "csr-auto",
@@ -272,13 +297,25 @@ fn main() {
     let mut hub_merge = 0.0f64;
     let mut hub_best_whole_row = 0.0f64;
     let mut hub_share = 0.0f64;
-    for (mname, csr) in suite() {
+    let mut vec_gate: Vec<(String, f64, f64, &'static str)> = Vec::new();
+    let mats = suite();
+    for (mname, csr) in mats.iter() {
+        let mname = *mname;
         if mname == "powerlaw-hub-8k" {
             let max = (0..csr.nrows()).map(|i| csr.row_nnz(i)).max().unwrap_or(0);
             hub_share = max as f64 / csr.nnz().max(1) as f64;
         }
-        for (kname, op) in kernels(&csr, &ctx) {
+        let (mut scalar_base, mut vec_best, mut vec_which) = (0.0f64, 0.0f64, "none");
+        for (kname, op) in kernels(csr, &ctx) {
             let gf = measure(op.as_ref());
+            match kname {
+                "csr-baseline" => scalar_base = gf,
+                "csr-simd" | "sell" if gf > vec_best => {
+                    vec_best = gf;
+                    vec_which = kname;
+                }
+                _ => {}
+            }
             table.row(vec![
                 mname.to_string(),
                 kname.to_string(),
@@ -303,8 +340,70 @@ fn main() {
                 gflops: gf,
             });
         }
+        vec_gate.push((mname.to_string(), scalar_base, vec_best, vec_which));
     }
     println!("{}", table.render());
+
+    // Vectorization no-loss gate (unconditional, every matrix, any thread
+    // count): the best vectorized kernel — SELL-C-σ or the length-bucketed
+    // csr-simd — must be at least as fast as the scalar csr-baseline. This
+    // is the hard floor behind the CMP class's "vectorize" recommendation:
+    // a classifier whose prescribed optimization loses to scalar is worse
+    // than no classifier, so the state is pinned here rather than left to
+    // the 15% drift band.
+    // One fresh measurement of a single (matrix, kernel) pair, for the
+    // retry paths of both gates. Rebuilding the kernel is part of the
+    // point: a stale schedule resolution or a cold structure is exactly the
+    // transient state a retry should not inherit.
+    let remeasure = |m: &str, k: &str| -> Option<f64> {
+        let csr = mats.iter().find(|(n, _)| *n == m).map(|(_, c)| c)?;
+        let (_, op) = kernels(csr, &ctx).into_iter().find(|(n, _)| *n == k)?;
+        Some(measure(op.as_ref()))
+    };
+
+    let mut failed = false;
+    println!("vectorization no-loss gate (best of sell / csr-simd vs csr-baseline):");
+    for (mname, base, best, which) in &vec_gate {
+        let (mut base, mut best, mut which) = (*base, *best, *which);
+        // On an apparent loss, re-measure the scalar reference and both
+        // vectorized contenders together, so the comparison happens inside
+        // one noise window instead of pitting a lucky baseline sample
+        // against an unlucky vectorized one.
+        let mut tries = 0;
+        while best < base && tries < RETRIES {
+            tries += 1;
+            let Some(new_base) = remeasure(mname, "csr-baseline") else {
+                break;
+            };
+            base = new_base;
+            best = 0.0;
+            which = "none";
+            for k in ["sell", "csr-simd"] {
+                if let Some(v) = remeasure(mname, k) {
+                    if v > best {
+                        best = v;
+                        which = k;
+                    }
+                }
+            }
+        }
+        let ratio = best / base.max(1e-12);
+        let verdict = if best < base {
+            "FAIL"
+        } else if tries > 0 {
+            "ok (retried)"
+        } else {
+            "ok"
+        };
+        println!("  {mname:>16}: {which:<8} {best:>8.3} vs {base:>8.3}  ({ratio:.2}x)  {verdict}");
+        if best < base {
+            eprintln!(
+                "FAIL: best vectorized kernel loses to scalar csr-baseline on {mname} \
+                 ({best:.3} < {base:.3} Gflop/s)"
+            );
+            failed = true;
+        }
+    }
 
     // Merge-path acceptance comparison. The structural win only exists when
     // the hub row overflows a whole-row nonzero quota — hub_share > 1 /
@@ -315,7 +414,6 @@ fn main() {
     println!(
         "merge-path on powerlaw-hub-8k: merge {hub_merge:.3} Gflop/s vs best whole-row {hub_best_whole_row:.3} Gflop/s"
     );
-    let mut failed = false;
     if hub_share * nthreads as f64 >= 1.5 {
         if hub_merge <= hub_best_whole_row {
             eprintln!("FAIL: merge-path must beat every whole-row CSR schedule on the hub matrix");
@@ -397,9 +495,23 @@ fn main() {
                         continue;
                     };
                     let ratio_base = b.gflops / base_ref.max(1e-12);
-                    let ratio_new = new_abs / new_ref.max(1e-12);
+                    let mut ratio_new = new_abs / new_ref.max(1e-12);
                     let floor = ratio_base * (1.0 - rel_tol);
-                    let verdict = if ratio_new < floor { "REGRESSED" } else { "ok" };
+                    let mut tries = 0;
+                    while ratio_new < floor && tries < RETRIES {
+                        tries += 1;
+                        match remeasure(&b.matrix, &b.kernel) {
+                            Some(again) => ratio_new = ratio_new.max(again / new_ref.max(1e-12)),
+                            None => break,
+                        }
+                    }
+                    let verdict = if ratio_new < floor {
+                        "REGRESSED"
+                    } else if tries > 0 {
+                        "ok (retried)"
+                    } else {
+                        "ok"
+                    };
                     println!(
                         "  {:>16}/{:<13} speedup {:>6.3} vs baseline {:>6.3}  {verdict}",
                         b.matrix, b.kernel, ratio_new, ratio_base
@@ -425,12 +537,27 @@ fn main() {
                         }
                         Some(e) => {
                             let floor = b.gflops * (1.0 - tolerance);
-                            let verdict = if e.gflops < floor { "REGRESSED" } else { "ok" };
+                            let mut gf = e.gflops;
+                            let mut tries = 0;
+                            while gf < floor && tries < RETRIES {
+                                tries += 1;
+                                match remeasure(&b.matrix, &b.kernel) {
+                                    Some(again) => gf = gf.max(again),
+                                    None => break,
+                                }
+                            }
+                            let verdict = if gf < floor {
+                                "REGRESSED"
+                            } else if tries > 0 {
+                                "ok (retried)"
+                            } else {
+                                "ok"
+                            };
                             println!(
                                 "  {:>16}/{:<13} {:>8.3} vs baseline {:>8.3}  {verdict}",
-                                b.matrix, b.kernel, e.gflops, b.gflops
+                                b.matrix, b.kernel, gf, b.gflops
                             );
-                            if e.gflops < floor {
+                            if gf < floor {
                                 failed = true;
                             }
                         }

@@ -1,11 +1,13 @@
 //! Operator over delta-compressed CSR (the MB optimization of Table II:
 //! "column index compression through delta encoding + vectorization").
 //!
-//! Vectorization composes with compression by decoding a block of column
-//! indices into a small stack buffer and running the SIMD/unrolled dot
-//! product over the decoded block. The multi-vector and transposed paths
-//! decode each row into a reusable thread-local buffer and then run the
-//! shared row pass / scatter machinery over the decoded indices.
+//! Vectorization composes with compression by decoding each row's column
+//! indices into a reusable thread-local buffer **once** and running the
+//! SIMD/unrolled dot product directly over the decoded slice — decode and
+//! multiply are two streaming passes, with no per-block copy in between
+//! serializing the SIMD path on the decoder. The multi-vector and
+//! transposed paths reuse the same decoded buffer for the shared row pass /
+//! scatter machinery.
 
 use super::rowprim::{row_dot, row_spmm_write, InnerLoop};
 use super::transpose::{scatter_row, TransposePlan};
@@ -17,9 +19,6 @@ use crate::schedule::{ResolvedSchedule, Schedule};
 use crate::util::SendMutPtr;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Size of the on-stack decode buffer used by the vectorized path.
-const DECODE_BLOCK: usize = 64;
 
 std::thread_local! {
     /// Reusable per-thread column decode buffer — the decoded paths must
@@ -73,31 +72,19 @@ impl DeltaKernel {
         Self::new(matrix, InnerLoop::Simd, false, Schedule::StaticNnz, ctx)
     }
 
-    /// Row dot product with block decode + vectorized accumulate. Decodes
-    /// into a reusable thread-local buffer (no per-row allocation).
-    fn row_dot_blocked(&self, i: usize, x: &[f64]) -> f64 {
+    /// Row dot product with decode + vectorized accumulate. Decodes into a
+    /// reusable thread-local buffer (no per-row allocation) and runs the
+    /// inner loop over the decoded slice directly — the historical
+    /// block-copy into a second stack buffer serialized the SIMD path on a
+    /// `memcpy` per 64 elements and was the `delta-simd` pathology.
+    fn row_dot_decoded(&self, i: usize, x: &[f64]) -> f64 {
         let m = &self.matrix;
         DECODE_BUF.with(|buf| {
             let mut decoded = buf.borrow_mut();
             decoded.clear();
             m.decode_row_into(i, &mut decoded);
             let vals = &m.values()[m.rowptr()[i]..m.rowptr()[i + 1]];
-            let mut cols_buf = [0u32; DECODE_BLOCK];
-            let mut sum = 0.0;
-            let mut k = 0;
-            while k < decoded.len() {
-                let take = (decoded.len() - k).min(DECODE_BLOCK);
-                cols_buf[..take].copy_from_slice(&decoded[k..k + take]);
-                sum += row_dot(
-                    self.inner,
-                    self.prefetch,
-                    &cols_buf[..take],
-                    &vals[k..k + take],
-                    x,
-                );
-                k += take;
-            }
-            sum
+            row_dot(self.inner, self.prefetch, &decoded, vals, x)
         })
     }
 }
@@ -131,7 +118,7 @@ impl SparseLinOp for DeltaKernel {
                         let v = if matches!(self.inner, InnerLoop::Scalar) {
                             m.row_dot(i, x)
                         } else {
-                            self.row_dot_blocked(i, x)
+                            self.row_dot_decoded(i, x)
                         };
                         // SAFETY: schedule guarantees row-disjoint writes.
                         unsafe { yp.write(i, v) };

@@ -22,6 +22,7 @@ mod linop;
 mod merge;
 mod microbench;
 mod rowprim;
+mod sell;
 mod slab;
 mod sym;
 pub(crate) mod transpose;
@@ -34,6 +35,7 @@ pub use linop::{Apply, OpCapabilities, SparseLinOp};
 pub use merge::MergeCsr;
 pub use microbench::{regularize_colind, UnitStrideCsr};
 pub use rowprim::{row_dot, InnerLoop, SPMM_COL_TILE};
+pub use sell::SellKernel;
 pub use slab::{BcsrKernel, EllKernel};
 pub use sym::SymCsr;
 

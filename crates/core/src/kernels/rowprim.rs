@@ -191,13 +191,22 @@ fn row_dot_unrolled_prefetch(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
     sum
 }
 
+/// Minimum row length routed to the AVX2 gather kernel. Below this, a row
+/// is dispatch + horizontal reduction + mostly scalar remainder — the
+/// gather unit never fills and the unrolled scalar loop wins, which is how
+/// `csr-simd` managed to lose to `csr-baseline` on short-row matrices.
+pub const SIMD_MIN_ROW: usize = 12;
+
 #[inline]
 fn row_dot_simd(cols: &[u32], vals: &[f64], x: &[f64], prefetch: bool) -> f64 {
     #[cfg(target_arch = "x86_64")]
     {
-        if crate::util::simd_available() {
-            // SAFETY: AVX2 support was just verified; bounds are validated by
-            // the debug assertions inside the intrinsic wrapper.
+        // Row-length bucket dispatch; `simd_available` is cached in a
+        // `OnceLock` (one relaxed load — feature detection happened once,
+        // at first use, not per row).
+        if cols.len() >= SIMD_MIN_ROW && crate::util::simd_available() {
+            // SAFETY: AVX2 support is verified; bounds are guaranteed by
+            // the CSR construction invariants.
             return unsafe { row_dot_avx2(cols, vals, x, prefetch) };
         }
     }

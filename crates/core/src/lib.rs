@@ -55,6 +55,7 @@ pub mod multivec;
 pub mod partition;
 pub mod pool;
 pub mod schedule;
+pub mod sell;
 pub mod sss;
 pub mod util;
 
@@ -68,13 +69,14 @@ pub mod prelude {
     pub use crate::ell::EllMatrix;
     pub use crate::kernels::{
         gflops, Apply, BcsrKernel, CsrKernelConfig, DecomposedKernel, DeltaKernel, EllKernel,
-        InnerLoop, MergeCsr, OpCapabilities, ParallelCsr, SerialCsr, SparseLinOp, SpmmKernel,
-        SpmvKernel, SymCsr, UnitStrideCsr,
+        InnerLoop, MergeCsr, OpCapabilities, ParallelCsr, SellKernel, SerialCsr, SparseLinOp,
+        SpmmKernel, SpmvKernel, SymCsr, UnitStrideCsr,
     };
     pub use crate::multivec::MultiVec;
     pub use crate::partition::{MergeSegment, Partition, Partition2d};
     pub use crate::pool::ExecCtx;
     pub use crate::schedule::Schedule;
+    pub use crate::sell::{sell_padded_slots, SellMatrix, SELL_C, SELL_SIGMA};
     pub use crate::sss::SssCsr;
 }
 

@@ -55,16 +55,25 @@ pub fn prefetch_read<T>(ptr: *const T) {
 }
 
 /// Returns true when AVX2 gather-based SIMD kernels can run on this host.
+///
+/// The answer is detected once and cached in a process-wide `OnceLock`, so
+/// the remaining callers on hot paths pay a single relaxed load — kernels
+/// still resolve their inner loop at construction (see
+/// [`crate::kernels::InnerLoop::resolve_for_host`]), but any residual
+/// per-row query cannot reintroduce CPUID overhead.
 #[inline]
 pub fn simd_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("avx2")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
+    static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
 }
 
 /// Median of a slice of `f64` (average of the two middle elements for even

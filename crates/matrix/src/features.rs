@@ -62,6 +62,12 @@ pub struct MatrixFeatures {
     /// 1 if the matrix is square and exactly symmetric, else 0. Gates the
     /// SSS storage optimization (MB class).
     pub is_symmetric: f64,
+    /// SELL-C-σ padding overhead at the library's default `(C, σ)`:
+    /// `padded_slots / nnz − 1`, i.e. the fraction of extra value/index
+    /// slots the sliced-ELLPACK layout stores as explicit zeros. Near 0 for
+    /// regular row lengths, grows with row-length variance — the cost side
+    /// of the vectorization (CMP) optimization's format trade.
+    pub padding_overhead: f64,
 }
 
 impl MatrixFeatures {
@@ -109,6 +115,12 @@ impl MatrixFeatures {
         // Working set: matrix footprint + x + y vectors.
         let working_set = csr.footprint_bytes() + (csr.ncols() + csr.nrows()) * 8;
         let symmetry_share = sparseopt_core::sss::symmetry_share(csr);
+        let padded = sparseopt_core::sell::sell_padded_slots(csr, sparseopt_core::sell::SELL_SIGMA);
+        let padding_overhead = if nnz == 0 {
+            0.0
+        } else {
+            padded as f64 / nnz as f64 - 1.0
+        };
         Self {
             size_fits_llc: if working_set <= llc_bytes { 1.0 } else { 0.0 },
             density: if n == 0 {
@@ -140,6 +152,7 @@ impl MatrixFeatures {
             } else {
                 0.0
             },
+            padding_overhead,
         }
     }
 
@@ -175,6 +188,7 @@ impl MatrixFeatures {
             "misses_avg" => self.misses_avg,
             "symmetry_share" => self.symmetry_share,
             "is_symmetric" => self.is_symmetric,
+            "padding_overhead" => self.padding_overhead,
             _ => return None,
         })
     }
@@ -218,6 +232,12 @@ impl FeatureSet {
                 // matrices, whose remediation is SSS storage rather than
                 // delta compression.
                 "symmetry_share",
+                // Likewise beyond Table IV: the SELL-C-σ padding overhead
+                // (computed from the actual layout in the same Θ(NNZ) tier)
+                // tells the tree when the vectorization remediation's
+                // format trade is cheap (regular rows) vs costly (high
+                // row-length variance).
+                "padding_overhead",
             ],
         }
     }
@@ -395,6 +415,31 @@ mod tests {
         assert_eq!(f.is_symmetric, 1.0);
         // The O(NNZ) feature set carries the symmetry signal.
         assert!(FeatureSet::LinearInNnz.names().contains(&"symmetry_share"));
+    }
+
+    #[test]
+    fn padding_overhead_tracks_row_length_variance() {
+        // Uniform row lengths pad nothing; a hub row in an otherwise sparse
+        // matrix pads its chunk and the overhead shows.
+        let regular = CsrMatrix::from_coo(&generators::banded(2000, 3));
+        let f = MatrixFeatures::extract(&regular, LLC);
+        assert!(
+            f.padding_overhead < 0.05,
+            "banded matrix should barely pad: {}",
+            f.padding_overhead
+        );
+
+        let skewed = CsrMatrix::from_coo(&generators::few_dense_rows(400, 2, 2, 3));
+        let f = MatrixFeatures::extract(&skewed, LLC);
+        assert!(
+            f.padding_overhead > 0.05,
+            "skewed rows must pad: {}",
+            f.padding_overhead
+        );
+        assert_eq!(f.get("padding_overhead"), Some(f.padding_overhead));
+        assert!(FeatureSet::LinearInNnz
+            .names()
+            .contains(&"padding_overhead"));
     }
 
     #[test]

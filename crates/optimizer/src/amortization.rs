@@ -36,9 +36,12 @@ pub fn conversion_cost_spmv(opt: Optimization) -> f64 {
         // the segment table — no matrix rebuild, far below one SpMV, but
         // not free (the searches touch the whole row pointer range).
         Optimization::MergeSplit => 0.5,
-        // Scheduling / prefetch / unrolling only parameterize the generated
-        // kernel; their cost is inside the JIT constant.
-        Optimization::AutoSchedule | Optimization::Prefetch | Optimization::UnrollVectorize => 0.0,
+        // SELL-C-σ conversion: σ-window sort, slot-major pack, permutation
+        // table — a full rebuild, comparable to decomposition's.
+        Optimization::Vectorize => 2.0,
+        // Scheduling / prefetch only parameterize the generated kernel;
+        // their cost is inside the JIT constant.
+        Optimization::AutoSchedule | Optimization::Prefetch => 0.0,
     }
 }
 

@@ -15,8 +15,8 @@ pub use amortization::{
     JIT_COST_SPMV, TRIAL_ITERS,
 };
 pub use optimizers::{
-    inspector_executor_host_kernel, inspector_executor_sim_config, mkl_host_kernel, mkl_sim_config,
-    AdaptiveOptimizer, MatrixEvaluation, OptimizedKernel, SimOptimizerStudy,
+    guard_plan, inspector_executor_host_kernel, inspector_executor_sim_config, mkl_host_kernel,
+    mkl_sim_config, AdaptiveOptimizer, MatrixEvaluation, OptimizedKernel, SimOptimizerStudy,
 };
 pub use pool::{
     select_optimizations, single_and_pair_plans, single_plans, OpRequirements, Optimization,

@@ -81,6 +81,41 @@ pub fn inspector_executor_host_kernel(
     Box::new(ParallelCsr::new(csr.clone(), cfg, ctx))
 }
 
+/// Sim-backed no-loss guard on a proposed plan: simulates the plan, its
+/// inner-loop downgrades (`Simd → Unrolled4 → Scalar` — the historical
+/// `delta+Simd` pairing loses to its own unrolled variant on short rows),
+/// and the scalar-CSR baseline, and returns whichever the model ranks
+/// fastest with its modeled Gflop/s. The returned plan is therefore never
+/// modeled slower than the baseline kernel: a "vectorize" recommendation
+/// the model says loses to scalar is downgraded instead of shipped.
+pub fn guard_plan(
+    profile: &SimMatrixProfile,
+    platform: &Platform,
+    plan: OptimizationPlan,
+) -> (OptimizationPlan, f64) {
+    let mut best = OptimizationPlan::baseline();
+    let mut best_g = simulate(profile, platform, &best.to_sim_config()).gflops;
+    let mut candidates = vec![plan.clone()];
+    if plan.inner == InnerLoop::Simd {
+        let mut p = plan.clone();
+        p.inner = InnerLoop::Unrolled4;
+        candidates.push(p);
+    }
+    if plan.inner != InnerLoop::Scalar {
+        let mut p = plan;
+        p.inner = InnerLoop::Scalar;
+        candidates.push(p);
+    }
+    for c in candidates {
+        let g = simulate(profile, platform, &c.to_sim_config()).gflops;
+        if g > best_g {
+            best = c;
+            best_g = g;
+        }
+    }
+    (best, best_g)
+}
+
 /// Everything Fig. 7 plots for one matrix on one platform, in Gflop/s.
 #[derive(Clone, Debug)]
 pub struct MatrixEvaluation {
@@ -184,16 +219,17 @@ impl SimOptimizerStudy {
             }
         }
 
-        // Profile-guided adaptive plan.
+        // Profile-guided adaptive plan, run through the sim-backed no-loss
+        // guard: the recorded plan is whatever the guard actually keeps.
         let classes_profile = self.classifier.classify(&bounds);
-        let prof_plan = OptimizationPlan::from_classes(classes_profile, features);
-        let prof = if prof_plan.is_noop() {
-            baseline
+        let raw = OptimizationPlan::from_classes(classes_profile, features);
+        let (prof_plan, prof) = if raw.is_noop() {
+            (raw, baseline)
         } else {
-            self.plan_gflops(&profile, &prof_plan)
+            guard_plan(&profile, platform, raw)
         };
 
-        // Feature-guided adaptive plan.
+        // Feature-guided adaptive plan, guarded the same way.
         let (classes_feature, feat) = match feature_classifier {
             None => (None, None),
             Some(clf) => {
@@ -202,7 +238,7 @@ impl SimOptimizerStudy {
                 let g = if plan.is_noop() {
                     baseline
                 } else {
-                    self.plan_gflops(&profile, &plan)
+                    guard_plan(&profile, platform, plan).1
                 };
                 (Some(classes), Some(g))
             }
@@ -231,6 +267,12 @@ pub struct AdaptiveOptimizer {
     classifier: ProfileGuidedClassifier,
     /// LLC size used for the `size` feature, bytes.
     pub llc_bytes: usize,
+    /// Modeled platform backing the sim no-loss guard ([`guard_plan`])
+    /// applied to every classified plan before it is built: a plan the
+    /// model ranks slower than scalar CSR on this platform is downgraded
+    /// rather than shipped. Defaults to the commodity Broadwell model, the
+    /// closest stand-in for a typical host.
+    pub guard_platform: Platform,
 }
 
 /// Outcome of a host-side optimization.
@@ -255,6 +297,7 @@ impl AdaptiveOptimizer {
             ctx,
             classifier: ProfileGuidedClassifier::new(),
             llc_bytes: 32 * 1024 * 1024,
+            guard_platform: Platform::broadwell(),
         }
     }
 
@@ -305,6 +348,14 @@ impl AdaptiveOptimizer {
         reqs: &OpRequirements,
     ) -> (OptimizationPlan, Box<dyn SparseLinOp>) {
         let plan = OptimizationPlan::from_classes(classes, features);
+        // No-loss guard: never build a plan the model ranks below scalar
+        // CSR (the pre-SELL "vectorize" recommendation did exactly that).
+        let plan = if plan.is_noop() {
+            plan
+        } else {
+            let profile = SimMatrixProfile::analyze(csr, &self.guard_platform);
+            guard_plan(&profile, &self.guard_platform, plan).0
+        };
         let kernel = plan.build_host_kernel(csr, self.ctx.clone());
         if kernel.capabilities().satisfies(&reqs.as_capabilities()) {
             (plan, kernel)
@@ -451,6 +502,34 @@ mod tests {
                 (a - b).abs() < 1e-9 * (1.0 + b.abs()),
                 "row {i}: {a} vs {b} under plan {}",
                 result.plan.label()
+            );
+        }
+    }
+
+    #[test]
+    fn guard_never_returns_a_modeled_loss() {
+        use crate::pool::Optimization;
+        let platform = Platform::knl();
+        let study = SimOptimizerStudy::new(platform.clone());
+        // Very short irregular rows: the historical `delta+Simd` pathology,
+        // where the per-row vector remainder cost swamps 3-element rows.
+        let csr = arc(g::random_uniform(10_000, 3, 8));
+        let f = MatrixFeatures::extract(&csr, 30 * 1024 * 1024);
+        let profile = study.profiler().profile_scaled(&csr, 1.0, 1.0);
+        let mut plan = OptimizationPlan::from_optimizations(&[Optimization::CompressVectorize], &f);
+        plan.inner = InnerLoop::Simd;
+        let base = simulate(&profile, &platform, &SimKernelConfig::baseline()).gflops;
+        let raw = simulate(&profile, &platform, &plan.to_sim_config()).gflops;
+        let (guarded, g) = guard_plan(&profile, &platform, plan);
+        assert!(
+            g >= base,
+            "guard must never hand back a modeled loss: {g} vs baseline {base}"
+        );
+        if raw < base {
+            assert_ne!(
+                guarded.inner,
+                InnerLoop::Simd,
+                "a losing Simd pairing must be downgraded"
             );
         }
     }

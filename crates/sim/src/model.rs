@@ -47,6 +47,16 @@ pub enum SimFormat {
     /// charges explicitly (for `Trans` the prediction equals `NoTrans` —
     /// `Aᵀ = A`).
     SymCsr,
+    /// SELL-C-σ sliced-ELLPACK storage (CMP optimization): rows sorted by
+    /// length within σ windows, packed into C-row chunks padded to the
+    /// chunk's max width, stored slot-major. The layout feeds vector lanes
+    /// with stride-1 value/index streams, which removes the per-row
+    /// remainder/masking cost that makes blind CSR vectorization a
+    /// *slowdown* on short rows (paper Fig. 1) and amortizes the row-loop
+    /// overhead over `C` lanes. The price — the padded slots' extra matrix
+    /// bytes — is charged explicitly from the real layout's pad count
+    /// ([`SimMatrixProfile::sell_padded_slots`]).
+    SellCs,
 }
 
 /// A kernel configuration to simulate — mirrors
@@ -117,6 +127,12 @@ pub struct SimMatrixProfile {
     /// partition of the lower triangle. The merge pass reads this much and
     /// writes the output once.
     pub sym_scratch_bytes: usize,
+    /// Value/index slot count of the SELL-C-σ layout at the library's
+    /// default `(C, σ)`: every stored nonzero plus the explicit zero pads.
+    /// The SELL model streams this many slots instead of `nnz`; the ratio
+    /// to `nnz` is the padding overhead the format pays for its stride-1
+    /// lanes.
+    pub sell_padded_slots: usize,
     /// CSR footprint + x + y, bytes (working set for bandwidth selection).
     pub working_set_bytes: usize,
     /// Bytes of the dense vectors alone (`x` + `y` at `k = 1`); each extra
@@ -235,6 +251,9 @@ impl SimMatrixProfile {
         }
         let sym_scratch_bytes = scratch_elems * 8;
 
+        let sell_padded_slots =
+            sparseopt_core::sell::sell_padded_slots(csr, sparseopt_core::sell::SELL_SIGMA);
+
         Self {
             nthreads,
             partition,
@@ -250,6 +269,7 @@ impl SimMatrixProfile {
             delta_index_bytes_per_nnz,
             sym_matrix_bytes,
             sym_scratch_bytes,
+            sell_padded_slots,
             working_set_bytes,
             vector_bytes,
             scale,
@@ -362,11 +382,24 @@ pub fn simulate_spmm(
     // wasted lanes plus the tail branch). This is what makes blind
     // vectorization a *slowdown* on very short rows (paper Fig. 1,
     // webbase-1M / delaunay / citation graphs).
-    let row_extra = match inner {
+    let mut row_extra = match inner {
         InnerLoop::Scalar => 0.0,
         InnerLoop::Unrolled4 => 2.0,
         InnerLoop::Simd => platform.simd_f64_lanes as f64 * platform.cpe_simd + 4.0,
     };
+    // SELL-C-σ is exactly the cure for that per-row cost: lanes run
+    // stride-1 over the slot-major stream with no remainder/masking, and
+    // one chunk loop serves C rows, so the row overhead amortizes by C.
+    // Compute still runs over the *real* nonzeros — the chunk kernels skip
+    // trailing pads lane-wise — but the value/index streams are stored
+    // padded, which `pad_factor` charges on the bandwidth side below.
+    let mut row_overhead = platform.row_overhead_cycles;
+    let mut pad_factor = 1.0;
+    if matches!(config.format, SimFormat::SellCs) {
+        row_extra = 0.0;
+        row_overhead /= sparseopt_core::sell::SELL_C as f64;
+        pad_factor = profile.sell_padded_slots as f64 / (profile.nnz as f64).max(1.0);
+    }
     if config.prefetch {
         cpe += platform.prefetch_cost_cpe;
     }
@@ -408,15 +441,14 @@ pub fn simulate_spmm(
         // Compute: k fused multiply-adds per element + per-row loop overhead
         // (amortized over column tiles) + schedule machinery.
         let row_pass = (tile + kf - 1.0) / tile;
-        let compute_cycles = w.nnz * cpe * kf
-            + w.rows * (platform.row_overhead_cycles + row_extra) * row_pass
-            + w.sched_cycles;
+        let compute_cycles =
+            w.nnz * cpe * kf + w.rows * (row_overhead + row_extra) * row_pass + w.sched_cycles;
         let compute = compute_cycles / freq;
 
-        // Bandwidth: matrix stream (values + indices + rowptr) paid once,
-        // y write-back paid k times, and each x miss pulls a k-double row
-        // of X (at least one line).
-        let matrix_bytes = w.nnz * (8.0 + index_bpn) + w.rows * 8.0;
+        // Bandwidth: matrix stream (values + indices + rowptr, padded for
+        // SELL) paid once, y write-back paid k times, and each x miss pulls
+        // a k-double row of X (at least one line).
+        let matrix_bytes = w.nnz * (8.0 + index_bpn) * pad_factor + w.rows * 8.0;
         matrix_traffic += matrix_bytes;
         let bytes = matrix_bytes + w.rows * 8.0 * kf + w.misses * line.max(8.0 * kf);
         let bw_share = (bw_total * (w.nnz / nnz_total.max(1.0)))
@@ -605,6 +637,9 @@ fn residency_regime(
         // stream (never below zero — an asymmetric matrix modeled under SSS
         // stores nearly everything in the lower triangle anyway).
         SimFormat::SymCsr => (csr_matrix_bytes - profile.sym_matrix_bytes as f64).max(0.0),
+        // SELL padding *grows* the stored values + indices: negative
+        // "compression" pushes the working set toward the memory regime.
+        SimFormat::SellCs => -(profile.sell_padded_slots.saturating_sub(profile.nnz) as f64 * 12.0),
         _ => 0.0,
     };
     let ws =
@@ -668,6 +703,12 @@ pub fn simulate_apply(
         SimFormat::DeltaCsr => profile.delta_index_bytes_per_nnz,
         _ => 4.0,
     };
+    // The SELL transpose scatters from the padded slot-major stream.
+    let pad_factor = if matches!(config.format, SimFormat::SellCs) {
+        profile.sell_padded_slots as f64 / (profile.nnz as f64).max(1.0)
+    } else {
+        1.0
+    };
 
     // Working set: the shared regime plus the per-thread scratch windows —
     // one [`residency_regime`] implementation keeps the NoTrans and Trans
@@ -694,7 +735,7 @@ pub fn simulate_apply(
         // Matrix stream paid once, x streamed sequentially k-wide, scatter
         // write-allocate traffic on the scratch (fill + write-back per
         // miss), and the merge pass's share.
-        let matrix_bytes = w.nnz * (8.0 + index_bpn) + w.rows * 8.0;
+        let matrix_bytes = w.nnz * (8.0 + index_bpn) * pad_factor + w.rows * 8.0;
         matrix_traffic += matrix_bytes;
         let bytes =
             matrix_bytes + w.rows * 8.0 * kf + w.misses * 2.0 * line.max(8.0 * kf) + merge_bytes;
@@ -739,6 +780,23 @@ fn distribute(profile: &SimMatrixProfile, config: &SimKernelConfig) -> Vec<Threa
     // precomputed at operator-build time (no per-application scheduling
     // machinery); the serial carry fix-up is charged by the caller.
     if matches!(config.format, SimFormat::MergeCsr) {
+        return (0..t)
+            .map(|_| ThreadWork {
+                nnz: nnz / t as f64,
+                rows: rows / t as f64,
+                misses: misses_total / t as f64,
+                irregular: irregular_total / t as f64,
+                sched_cycles: 0.0,
+            })
+            .collect();
+    }
+
+    // SELL-C-σ: the operator partitions chunks by their padded-slot counts
+    // (the chunk pointer doubles as a weight vector), so per-thread work is
+    // slot-balanced by construction — the σ-window sort confines a hub row
+    // to one chunk and the chunk split is far finer than whole-row static
+    // ranges.
+    if matches!(config.format, SimFormat::SellCs) {
         return (0..t)
             .map(|_| ThreadWork {
                 nnz: nnz / t as f64,
@@ -1067,6 +1125,75 @@ mod tests {
             },
         );
         assert!(simd.gflops > 1.5 * base.gflops);
+    }
+
+    #[test]
+    fn sell_vectorizes_short_rows_without_the_remainder_penalty() {
+        // Short irregular rows are exactly where blind CSR vectorization
+        // loses (paper Fig. 1): the per-row masking/remainder cost swamps
+        // 8-element rows. The SELL-C-σ model has no per-row vector cost, so
+        // its vectorized prediction must beat both CSR+SIMD and the scalar
+        // baseline.
+        let csr = CsrMatrix::from_coo(&g::random_uniform(20_000, 8, 42));
+        let knl = Platform::knl();
+        let prof = profile(&csr, &knl);
+        let base = simulate(&prof, &knl, &SimKernelConfig::baseline());
+        let csr_simd = simulate(
+            &prof,
+            &knl,
+            &SimKernelConfig {
+                inner: InnerLoop::Simd,
+                ..SimKernelConfig::baseline()
+            },
+        );
+        let sell = simulate(
+            &prof,
+            &knl,
+            &SimKernelConfig {
+                format: SimFormat::SellCs,
+                inner: InnerLoop::Simd,
+                ..SimKernelConfig::baseline()
+            },
+        );
+        assert!(
+            sell.gflops > csr_simd.gflops,
+            "SELL {} must beat CSR+SIMD {} on short rows",
+            sell.gflops,
+            csr_simd.gflops
+        );
+        assert!(
+            sell.gflops >= base.gflops,
+            "SELL {} must not lose to scalar CSR {}",
+            sell.gflops,
+            base.gflops
+        );
+    }
+
+    #[test]
+    fn sell_padding_is_charged_as_matrix_traffic() {
+        // A power-law matrix pads: the modeled SELL matrix stream must grow
+        // over CSR's by exactly the padded-slot ratio (the format trades
+        // bytes for stride-1 lanes — the model must not pretend otherwise).
+        let csr = CsrMatrix::from_coo(&g::power_law_hub(8192, 2, 11));
+        let knc = Platform::knc();
+        let prof = profile(&csr, &knc);
+        assert!(
+            prof.sell_padded_slots > prof.nnz,
+            "sorted SELL still pads a power-law matrix"
+        );
+        let mk = |format| SimKernelConfig {
+            format,
+            inner: InnerLoop::Simd,
+            ..SimKernelConfig::baseline()
+        };
+        let base = simulate(&prof, &knc, &mk(SimFormat::Csr));
+        let sell = simulate(&prof, &knc, &mk(SimFormat::SellCs));
+        assert!(
+            sell.matrix_traffic_bytes > base.matrix_traffic_bytes,
+            "padded slots must appear as matrix traffic: {} vs {}",
+            sell.matrix_traffic_bytes,
+            base.matrix_traffic_bytes
+        );
     }
 
     #[test]

@@ -302,6 +302,107 @@ fn both_classifier_paths_propose_sym_compress_for_symmetric_banded_mb() {
 }
 
 #[test]
+fn both_classifier_paths_propose_sell_for_cmp_class_matrix() {
+    // Acceptance shape: a cache-resident banded matrix with long regular
+    // rows — the canonical CMP class member, whose remediation is now the
+    // SELL-C-σ conversion (stride-1 vector lanes, no per-row remainder
+    // cost) rather than blind CSR inner-loop vectorization — proposed by
+    // *both* classifier paths, and *surviving* the sim-backed no-loss
+    // guard that kills any plan modeled slower than scalar CSR.
+    use sparseopt::classifier::LabeledMatrix;
+    use sparseopt::matrix::generators as g;
+    use sparseopt::ml::TreeParams;
+
+    let csr = arc(g::banded(2000, 16));
+    let features = MatrixFeatures::extract(&csr, 30 * 1024 * 1024);
+
+    let platform = Platform::knc();
+    let profiler = SimBoundsProfiler::new(platform.clone());
+    let ctx = ExecCtx::new(2);
+
+    // Profile-guided path: bounds → CMP → vectorize plan → SELL op.
+    let classes = ProfileGuidedClassifier::new().classify(&profiler.measure(&csr));
+    assert!(classes.contains(Bottleneck::Cmp), "got {classes}");
+    let plan = OptimizationPlan::from_classes(classes, &features);
+    assert!(
+        plan.optimizations.contains(&Optimization::Vectorize),
+        "plan was {}",
+        plan.label()
+    );
+    assert_eq!(
+        plan.to_sim_config().format,
+        sparseopt::sim::SimFormat::SellCs
+    );
+    let op = plan.build_host_kernel(&csr, ctx.clone());
+    assert!(op.name().starts_with("sell-c"), "got {}", op.name());
+
+    // The no-loss guard must keep the SELL plan: the model ranks it above
+    // scalar CSR on this compute-bound matrix, so no downgrade fires — and
+    // by the guard's contract the shipped plan is never a modeled loss.
+    let profile = profiler.profile_scaled(&csr, 1.0, 1.0);
+    let (guarded, g) = sparseopt::optimizer::guard_plan(&profile, &platform, plan.clone());
+    assert!(
+        guarded.optimizations.contains(&Optimization::Vectorize),
+        "guard must keep the SELL plan, kept {}",
+        guarded.label()
+    );
+    let base = sparseopt::sim::simulate(
+        &profile,
+        &platform,
+        &sparseopt::sim::SimKernelConfig::baseline(),
+    )
+    .gflops;
+    assert!(
+        g >= base,
+        "guarded plan {g} must not lose to baseline {base}"
+    );
+
+    // Feature-guided path: train on the standard corpus plus
+    // profiler-labeled CMP exemplars (cache-resident long-row bands), then
+    // the tree must carry CMP — and the same SELL plan — to the acceptance
+    // matrix's features.
+    let pgc = ProfileGuidedClassifier::new();
+    let mut samples: Vec<LabeledMatrix> = corpus()
+        .into_iter()
+        .map(|(name, m)| LabeledMatrix {
+            features: MatrixFeatures::extract(&m, 30 * 1024 * 1024),
+            classes: pgc.classify(&profiler.measure(&m)),
+            name,
+        })
+        .collect();
+    for (i, (n, band)) in [(1500usize, 12usize), (2500, 14), (3000, 18), (1800, 20)]
+        .into_iter()
+        .enumerate()
+    {
+        let m = arc(g::banded(n, band));
+        samples.push(LabeledMatrix {
+            features: MatrixFeatures::extract(&m, 30 * 1024 * 1024),
+            classes: pgc.classify(&profiler.measure(&m)),
+            name: format!("longband{i}"),
+        });
+    }
+    let clf =
+        FeatureGuidedClassifier::train(&samples, FeatureSet::LinearInNnz, TreeParams::default());
+    let feat_classes = clf.classify(&features);
+    assert!(
+        feat_classes.contains(Bottleneck::Cmp),
+        "feature-guided classes: {feat_classes}"
+    );
+    let feat_plan = OptimizationPlan::from_classes(feat_classes, &features);
+    assert!(
+        feat_plan.optimizations.contains(&Optimization::Vectorize),
+        "feature-guided plan was {}",
+        feat_plan.label()
+    );
+    let feat_op = feat_plan.build_host_kernel(&csr, ctx);
+    assert!(
+        feat_op.name().starts_with("sell-c"),
+        "got {}",
+        feat_op.name()
+    );
+}
+
+#[test]
 fn classification_is_deterministic() {
     let profiler = SimBoundsProfiler::new(Platform::knl());
     let classifier = ProfileGuidedClassifier::new();

@@ -1,0 +1,22 @@
+//! Shared helpers for the integration-test kernel zoos.
+
+/// Element-wise comparison tolerant of fused-multiply-add and
+/// reassociation differences.
+///
+/// The SIMD and SELL chunk kernels accumulate in a different order than the
+/// serial reference (multiple accumulator chains, FMA contractions), so
+/// bit-exact equality is the wrong contract: each element may differ by a
+/// few ulps scaled by the magnitude of the partial products, not of the
+/// final sum (catastrophic cancellation makes `|want|` alone too tight a
+/// yardstick). The tolerance therefore scales with both the result and the
+/// largest intermediate magnitude the caller observed.
+pub fn assert_close_fma(name: &str, got: &[f64], want: &[f64], scale: f64) {
+    assert_eq!(got.len(), want.len(), "{name}: length mismatch");
+    let tol = 1e-9 * (1.0 + scale.abs());
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (a - b).abs() <= tol + 1e-9 * b.abs(),
+            "{name}: row {i} differs: {a} vs {b} (tol {tol:.3e})"
+        );
+    }
+}

@@ -9,6 +9,8 @@ use sparseopt::core::CsrKernelConfig;
 use sparseopt::prelude::*;
 use std::sync::Arc;
 
+mod common;
+
 /// Dense reference `y = A·x` accumulated straight from the raw triplets,
 /// independent of every sparse format under test (duplicates sum).
 fn dense_spmv(nrows: usize, entries: &[(usize, usize, f64)], x: &[f64]) -> Vec<f64> {
@@ -62,6 +64,17 @@ fn check_all_formats_against_dense(n: usize, entries: &[(usize, usize, f64)]) {
     let mut y = vec![f64::NAN; n];
     ell.spmv(&x, &mut y);
     run("ell", &y);
+
+    let sell = Arc::new(SellMatrix::from_csr(&csr));
+    let mut y = vec![f64::NAN; n];
+    sell.spmv(&x, &mut y);
+    run("sell-serial", &y);
+    for vectorize in [false, true] {
+        let k = SellKernel::new(sell.clone(), vectorize, ctx.clone());
+        let mut y = vec![f64::NAN; n];
+        k.spmv(&x, &mut y);
+        run(&k.name(), &y);
+    }
 
     for threshold in [1usize, 4, 1000] {
         let dec = Arc::new(DecomposedCsrMatrix::from_csr(&csr, threshold));
@@ -124,12 +137,8 @@ fn reference(csr: &Arc<CsrMatrix>, x: &[f64]) -> Vec<f64> {
 }
 
 fn assert_close(name: &str, got: &[f64], want: &[f64]) {
-    for (i, (a, b)) in got.iter().zip(want).enumerate() {
-        assert!(
-            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
-            "{name}: row {i} differs: {a} vs {b}"
-        );
-    }
+    let scale = want.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    common::assert_close_fma(name, got, want, scale);
 }
 
 proptest! {
