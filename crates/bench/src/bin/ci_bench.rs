@@ -113,6 +113,74 @@ fn suite() -> Vec<(&'static str, Arc<CsrMatrix>)> {
             "sym-band-20k",
             Arc::new(CsrMatrix::from_coo(&g::symmetric_banded(20_000, 4))),
         ),
+        (
+            "spd-powerlaw-12k",
+            Arc::new(CsrMatrix::from_coo(&g::symmetric_power_law(12_000, 8, 97))),
+        ),
+    ]
+}
+
+/// The SPD members that carry SpTRSV rows (their lower triangles are the
+/// IC(0)/SymGS solve operands): a 2-D stencil (medium-width levels), a pure
+/// band (chain DAG — level scheduling must *not* be selected there, but the
+/// row still pins its cost) and a symmetrized power-law graph (wide shallow
+/// DAG — the level-scheduled win the no-loss gate checks).
+const SPTRSV_MATRICES: [&str; 3] = ["poisson2d-96", "sym-band-20k", "spd-powerlaw-12k"];
+
+/// The SPD member on which level-scheduled SpTRSV must not lose to serial
+/// substitution when more than one thread is available. Only the wide-DAG
+/// member arms the gate: on chain/narrow DAGs serial is the *correct*
+/// choice (and what `TrsvAlgo::Auto` picks), so "level wins there" is not a
+/// property worth pinning.
+const SPTRSV_GATE_MATRIX: &str = "spd-powerlaw-12k";
+
+/// Measures one triangular solve kernel with the same batching protocol as
+/// [`measure`] (best batch of [`BATCHES`]).
+fn measure_trsv(k: &TrsvKernel) -> f64 {
+    let n = k.matrix().nrows();
+    let b: Vec<f64> = (0..n).map(|i| 0.5 + (i as f64 * 0.13).sin()).collect();
+    let mut x = vec![0.0f64; n];
+    k.solve(&b, &mut x); // warm up
+
+    let t0 = Instant::now();
+    k.solve(&b, &mut x);
+    let est = t0.elapsed().as_secs_f64().max(1e-7);
+    let iters = ((BATCH_SECS / est).ceil() as usize).clamp(1, 20_000);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            k.solve(&b, &mut x);
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    std::hint::black_box(&x);
+    gflops(k.flops(1), best)
+}
+
+/// Builds the (kernel-name, solver) pairs for one SPD matrix's lower
+/// triangle. At one thread the level-scheduled kernel resolves to serial,
+/// so both rows exist on every host and the baseline keys stay stable.
+fn trsv_kernels(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<(&'static str, TrsvKernel)> {
+    let lower = Arc::new(csr.lower_triangle(true));
+    vec![
+        (
+            "sptrsv-serial",
+            TrsvKernel::serial(lower.clone(), TrsvDirection::Lower, false)
+                .expect("SPD lower triangle"),
+        ),
+        (
+            "sptrsv-level",
+            TrsvKernel::try_new(
+                lower,
+                TrsvDirection::Lower,
+                false,
+                TrsvAlgo::LevelScheduled,
+                ctx.clone(),
+            )
+            .expect("SPD lower triangle"),
+        ),
     ]
 }
 
@@ -297,6 +365,8 @@ fn main() {
     let mut hub_merge = 0.0f64;
     let mut hub_best_whole_row = 0.0f64;
     let mut hub_share = 0.0f64;
+    let mut trsv_serial = 0.0f64;
+    let mut trsv_level = 0.0f64;
     let mut vec_gate: Vec<(String, f64, f64, &'static str)> = Vec::new();
     let mats = suite();
     for (mname, csr) in mats.iter() {
@@ -341,6 +411,29 @@ fn main() {
             });
         }
         vec_gate.push((mname.to_string(), scalar_base, vec_best, vec_which));
+        // SpTRSV rows on the SPD members (lower-triangle solve).
+        if SPTRSV_MATRICES.contains(&mname) {
+            for (kname, kernel) in trsv_kernels(csr, &ctx) {
+                let gf = measure_trsv(&kernel);
+                if mname == SPTRSV_GATE_MATRIX {
+                    match kname {
+                        "sptrsv-serial" => trsv_serial = gf,
+                        "sptrsv-level" => trsv_level = gf,
+                        _ => {}
+                    }
+                }
+                table.row(vec![
+                    mname.to_string(),
+                    kname.to_string(),
+                    format!("{gf:.3}"),
+                ]);
+                entries.push(Entry {
+                    matrix: mname.to_string(),
+                    kernel: kname.to_string(),
+                    gflops: gf,
+                });
+            }
+        }
     }
     println!("{}", table.render());
 
@@ -426,6 +519,83 @@ fn main() {
              modeled equivalent)",
             hub_share * 100.0
         );
+    }
+
+    // SpTRSV no-loss gate: on the wide-DAG SPD member, level-scheduled must
+    // reach at least the serial-substitution rate once more than one thread
+    // participates. At one thread the level kernel *is* serial (construction
+    // downgrades it), so the comparison is reported but not gated.
+    println!(
+        "sptrsv on {SPTRSV_GATE_MATRIX}: level {trsv_level:.3} Gflop/s vs serial {trsv_serial:.3} Gflop/s"
+    );
+    if nthreads > 1 {
+        let mut tries = 0;
+        while trsv_level < trsv_serial && tries < RETRIES {
+            tries += 1;
+            // Re-measure both sides inside one noise window, like the
+            // vectorization gate does.
+            if let Some((_, csr)) = mats.iter().find(|(n, _)| *n == SPTRSV_GATE_MATRIX) {
+                for (kname, kernel) in trsv_kernels(csr, &ctx) {
+                    let gf = measure_trsv(&kernel);
+                    match kname {
+                        "sptrsv-serial" => trsv_serial = gf,
+                        "sptrsv-level" => trsv_level = gf,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if trsv_level < trsv_serial {
+            eprintln!(
+                "FAIL: level-scheduled SpTRSV loses to serial substitution on \
+                 {SPTRSV_GATE_MATRIX} ({trsv_level:.3} < {trsv_serial:.3} Gflop/s) at {nthreads} threads"
+            );
+            failed = true;
+        }
+    } else {
+        println!("  (single-threaded host: level-scheduling cannot engage, comparison not gated)");
+    }
+
+    // Preconditioned-CG iteration pin (deterministic — no timing noise):
+    // IC(0) on the Poisson stencil must converge in at most half the
+    // Jacobi-preconditioned iterations at the same tolerance, the
+    // acceptance criterion for the preconditioning layer. Mirrors the
+    // hard pin in tests/trsv_equivalence.rs so a bench-tier run catches a
+    // factorization regression even when the test tier is skipped.
+    {
+        use sparseopt_solver::{cg, Ic0Precond, JacobiPrecond, SolverOptions};
+        let (_, poisson) = mats
+            .iter()
+            .find(|(n, _)| *n == "poisson2d-96")
+            .expect("poisson2d-96 is a pinned suite member");
+        let op = SerialCsr::new(poisson.clone());
+        let b: Vec<f64> = (0..poisson.nrows())
+            .map(|i| 1.0 + (i as f64 * 0.07).sin())
+            .collect();
+        let opts = SolverOptions {
+            tol: 1e-8,
+            max_iters: 2_000,
+        };
+        let jacobi = JacobiPrecond::new(poisson).expect("Poisson diagonal");
+        let ic = Ic0Precond::new(poisson).expect("Poisson is SPD");
+        let mut x = vec![0.0; poisson.nrows()];
+        let out_j = cg(&op, &b, &mut x, &jacobi, &opts);
+        x.fill(0.0);
+        let out_ic = cg(&op, &b, &mut x, &ic, &opts);
+        println!(
+            "preconditioned CG on poisson2d-96: jacobi {} iters, ic0 {} iters",
+            out_j.iterations, out_ic.iterations
+        );
+        if !out_j.converged || !out_ic.converged {
+            eprintln!("FAIL: preconditioned CG did not converge on poisson2d-96");
+            failed = true;
+        } else if 2 * out_ic.iterations > out_j.iterations {
+            eprintln!(
+                "FAIL: IC(0)-CG needs {} iterations, more than half of Jacobi-CG's {}",
+                out_ic.iterations, out_j.iterations
+            );
+            failed = true;
+        }
     }
 
     write_json(&out_path, nthreads, &entries).expect("failed to write results JSON");

@@ -14,8 +14,10 @@ pub mod bounds;
 pub mod classes;
 pub mod feature_guided;
 pub mod profile_guided;
+pub mod trsv;
 
 pub use bounds::{BoundsProfiler, HostBoundsProfiler, PerClassBounds, SimBoundsProfiler};
 pub use classes::{Bottleneck, ClassSet};
 pub use feature_guided::{build_dataset, FeatureGuidedClassifier, LabeledMatrix};
 pub use profile_guided::{ProfileGuidedClassifier, ProfileThresholds};
+pub use trsv::{propose_trsv_plan, TrsvPlan};

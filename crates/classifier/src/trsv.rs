@@ -1,0 +1,106 @@
+//! Tri-solve plan selection: the classifier-side entry point for the
+//! dependency-bound SpTRSV kernel shape.
+//!
+//! SpMV bottleneck classes (MB/ML/IMB/CMP) assume all rows are schedulable
+//! at once, so they say nothing about a triangular solve. The decision the
+//! optimizer needs there is *one-dimensional*: is the dependency DAG wide
+//! enough that level-scheduled execution beats serial substitution on this
+//! platform and thread count? [`propose_trsv_plan`] answers it by profiling
+//! the triangle's level structure and running both plans through the
+//! analytic dependency-bound model in `sparseopt_sim::trsv`, mirroring how
+//! the SpMV side pairs [`crate::bounds`] with format selection.
+
+use sparseopt_core::csr::CsrMatrix;
+use sparseopt_core::kernels::{TrsvAlgo, TrsvDirection};
+use sparseopt_sim::trsv::{select_trsv_algo, simulate_trsv, TrsvProfile};
+use sparseopt_sim::Platform;
+
+/// The selected tri-solve execution plan plus the evidence it rests on.
+#[derive(Clone, Debug)]
+pub struct TrsvPlan {
+    /// Chosen algorithm (never [`TrsvAlgo::Auto`]).
+    pub algo: TrsvAlgo,
+    /// The DAG profile the decision was made from.
+    pub profile: TrsvProfile,
+    /// Modeled seconds for serial substitution.
+    pub serial_secs: f64,
+    /// Modeled seconds for level-scheduled execution at `nthreads`.
+    pub level_secs: f64,
+}
+
+impl TrsvPlan {
+    /// Modeled speedup of the chosen plan over serial substitution
+    /// (`≥ 1.0` by construction).
+    pub fn modeled_speedup(&self) -> f64 {
+        match self.algo {
+            TrsvAlgo::LevelScheduled => self.serial_secs / self.level_secs,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Profiles a triangular matrix and selects serial vs level-scheduled
+/// execution for the given platform and thread count.
+pub fn propose_trsv_plan(
+    triangle: &CsrMatrix,
+    direction: TrsvDirection,
+    platform: &Platform,
+    nthreads: usize,
+) -> TrsvPlan {
+    let profile = TrsvProfile::analyze(triangle, direction);
+    let algo = select_trsv_algo(&profile, platform, nthreads);
+    let serial_secs = simulate_trsv(&profile, platform, TrsvAlgo::Serial, 1).secs;
+    let level_secs = if nthreads > 1 && profile.nlevels() > 0 {
+        simulate_trsv(&profile, platform, TrsvAlgo::LevelScheduled, nthreads).secs
+    } else {
+        serial_secs
+    };
+    TrsvPlan {
+        algo,
+        profile,
+        serial_secs,
+        level_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseopt_core::coo::CooMatrix;
+
+    #[test]
+    fn plan_picks_the_modeled_winner() {
+        // Chain DAG: a bidiagonal lower triangle.
+        let n = 4096;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+        }
+        let chain = CsrMatrix::from_coo(&coo);
+        let plan = propose_trsv_plan(&chain, TrsvDirection::Lower, &Platform::broadwell(), 8);
+        assert_eq!(plan.algo, TrsvAlgo::Serial);
+        assert_eq!(plan.profile.nlevels(), n);
+        assert!((plan.modeled_speedup() - 1.0).abs() < 1e-12);
+
+        // Block DAG: wide levels.
+        let block = 512;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i >= block {
+                let base = (i / block - 1) * block;
+                for d in 0..4 {
+                    coo.push(i, base + (i * 17 + d * 5) % block, -0.1);
+                }
+            }
+        }
+        let wide = CsrMatrix::from_coo(&coo);
+        let plan = propose_trsv_plan(&wide, TrsvDirection::Lower, &Platform::broadwell(), 8);
+        assert_eq!(plan.algo, TrsvAlgo::LevelScheduled);
+        assert!(plan.modeled_speedup() > 1.0);
+        assert!(plan.level_secs < plan.serial_secs);
+    }
+}

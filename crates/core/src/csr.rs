@@ -176,19 +176,59 @@ impl CsrMatrix {
     }
 
     /// Extracts the diagonal (zero where absent). Used by Jacobi
-    /// preconditioning.
+    /// preconditioning and the triangular-solve kernels.
+    ///
+    /// Duplicate diagonal entries (possible via [`Self::from_raw`] — the COO
+    /// path sums duplicates before conversion) are **summed**, matching the
+    /// matrix the format logically represents. Taking the first entry and
+    /// stopping, as an earlier revision did, silently dropped the rest.
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.nrows.min(self.ncols);
         let mut d = vec![0.0; n];
         for (i, di) in d.iter_mut().enumerate() {
             for k in self.rowptr[i]..self.rowptr[i + 1] {
                 if self.colind[k] as usize == i {
-                    *di = self.values[k];
-                    break;
+                    *di += self.values[k];
                 }
             }
         }
         d
+    }
+
+    /// Extracts the lower triangle (`col <= row` when `with_diag`, else
+    /// `col < row`) as a CSR matrix of the same shape. Entry order within a
+    /// row is preserved. Used to build triangular-solve operands and the
+    /// incomplete factorizations.
+    pub fn lower_triangle(&self, with_diag: bool) -> CsrMatrix {
+        self.filter_triangle(|c, i| if with_diag { c <= i } else { c < i })
+    }
+
+    /// Extracts the upper triangle (`col >= row` when `with_diag`, else
+    /// `col > row`) as a CSR matrix of the same shape.
+    pub fn upper_triangle(&self, with_diag: bool) -> CsrMatrix {
+        self.filter_triangle(|c, i| if with_diag { c >= i } else { c > i })
+    }
+
+    fn filter_triangle(&self, keep: impl Fn(usize, usize) -> bool) -> CsrMatrix {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..self.nrows {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                if keep(self.colind[k] as usize, i) {
+                    colind.push(self.colind[k]);
+                    values.push(self.values[k]);
+                }
+            }
+            rowptr[i + 1] = colind.len();
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// Returns a copy restricted to the given rows (used by matrix
@@ -287,5 +327,45 @@ mod tests {
     #[should_panic(expected = "rowptr must end at nnz")]
     fn from_raw_validates() {
         CsrMatrix::from_raw(1, 1, vec![0, 2], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    fn diagonal_sums_duplicate_entries() {
+        // Regression: the extractor used to take the *first* (col == row)
+        // entry and break, silently dropping duplicates that from_raw can
+        // legally carry. The represented matrix has a_00 = 1.5 + 2.5.
+        let m = CsrMatrix::from_raw(
+            2,
+            2,
+            vec![0, 3, 4],
+            vec![0, 0, 1, 1],
+            vec![1.5, 2.5, 9.0, 4.0],
+        );
+        assert_eq!(m.diagonal(), vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn triangle_split_partitions_entries() {
+        let m = sample();
+        let lower = m.lower_triangle(true);
+        let strict_upper = m.upper_triangle(false);
+        assert_eq!(lower.nnz() + strict_upper.nnz(), m.nnz());
+        for (i, c, _) in lower.iter() {
+            assert!(c <= i);
+        }
+        for (i, c, _) in strict_upper.iter() {
+            assert!(c > i);
+        }
+        // Strict lower + diagonal + strict upper reassemble the matrix.
+        let mut coo = m.lower_triangle(false).to_coo();
+        for (i, c, v) in strict_upper.iter() {
+            coo.push(i, c, v);
+        }
+        for (i, &d) in m.diagonal().iter().enumerate() {
+            if d != 0.0 {
+                coo.push(i, i, d);
+            }
+        }
+        assert_eq!(CsrMatrix::from_coo(&coo), m);
     }
 }

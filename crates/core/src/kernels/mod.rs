@@ -25,7 +25,9 @@ mod rowprim;
 mod sell;
 mod slab;
 mod sym;
+mod symgs;
 pub(crate) mod transpose;
+mod trsv;
 
 pub use csr::{CsrKernelConfig, ParallelCsr, SerialCsr};
 pub use decomposed::DecomposedKernel;
@@ -38,6 +40,8 @@ pub use rowprim::{row_dot, InnerLoop, SPMM_COL_TILE};
 pub use sell::SellKernel;
 pub use slab::{BcsrKernel, EllKernel};
 pub use sym::SymCsr;
+pub use symgs::{SymGsError, SymGsKernel};
+pub use trsv::{LevelSets, TrsvAlgo, TrsvDirection, TrsvError, TrsvKernel};
 
 /// Thin compatibility shim: the historical single-vector view of an
 /// operator. Blanket-implemented for every [`SparseLinOp`], so

@@ -69,8 +69,9 @@ pub mod prelude {
     pub use crate::ell::EllMatrix;
     pub use crate::kernels::{
         gflops, Apply, BcsrKernel, CsrKernelConfig, DecomposedKernel, DeltaKernel, EllKernel,
-        InnerLoop, MergeCsr, OpCapabilities, ParallelCsr, SellKernel, SerialCsr, SparseLinOp,
-        SpmmKernel, SpmvKernel, SymCsr, UnitStrideCsr,
+        InnerLoop, LevelSets, MergeCsr, OpCapabilities, ParallelCsr, SellKernel, SerialCsr,
+        SparseLinOp, SpmmKernel, SpmvKernel, SymCsr, SymGsError, SymGsKernel, TrsvAlgo,
+        TrsvDirection, TrsvError, TrsvKernel, UnitStrideCsr,
     };
     pub use crate::multivec::MultiVec;
     pub use crate::partition::{MergeSegment, Partition, Partition2d};

@@ -27,6 +27,21 @@ impl<T> SendMutPtr<T> {
         unsafe { *self.0.add(idx) = value }
     }
 
+    /// Reads the element at `idx` through the raw pointer.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds of the original slice and the element must not
+    /// be concurrently written. The level-scheduled triangular solve upholds
+    /// this by construction: a row only reads entries solved in *earlier*
+    /// levels, published by the inter-level barrier.
+    #[inline]
+    pub(crate) unsafe fn read(&self, idx: usize) -> T
+    where
+        T: Copy,
+    {
+        unsafe { *self.0.add(idx) }
+    }
+
     /// Reborrows a window of the original slice.
     ///
     /// # Safety

@@ -16,4 +16,6 @@ pub mod suite;
 
 pub use features::{FeatureSet, MatrixFeatures, ELEMS_PER_CACHE_LINE};
 pub use reorder::{bandwidth, reverse_cuthill_mckee, Permutation};
-pub use suite::{by_name, paper_suite, suite_names, training_suite, Category, SuiteMatrix};
+pub use suite::{
+    by_name, paper_suite, spd_suite, suite_names, training_suite, Category, SuiteMatrix,
+};

@@ -301,6 +301,39 @@ pub fn paper_suite() -> Vec<SuiteMatrix> {
         .collect()
 }
 
+/// The symmetric-positive-definite members used by the preconditioned-solver
+/// scenario (IC(0)/SymGS preconditioning, SpTRSV benchmarking): every matrix
+/// here is exactly symmetric with a dominant diagonal, so incomplete
+/// Cholesky and Gauss-Seidel sweeps are well defined on all of them.
+///
+/// Separate from [`paper_suite`] (whose membership is pinned to the paper's
+/// 32 matrices): `poisson2d-96` has the narrow-level triangle of a stencil,
+/// `spd-band-20k` a pure chain DAG, and `spd-powerlaw-12k` the wide shallow
+/// DAG where level-scheduled SpTRSV wins.
+pub fn spd_suite() -> Vec<SuiteMatrix> {
+    type SpdSpec = (&'static str, Category, fn() -> CsrMatrix);
+    let specs: [SpdSpec; 3] = [
+        ("poisson2d-96", Category::Stencil, || {
+            csr(g::poisson2d(96, 96))
+        }),
+        ("spd-band-20k", Category::Stencil, || {
+            csr(g::symmetric_banded(20_000, 4))
+        }),
+        ("spd-powerlaw-12k", Category::PowerLaw, || {
+            csr(g::symmetric_power_law(12_000, 8, 97))
+        }),
+    ];
+    specs
+        .into_par_iter()
+        .map(|(name, category, build)| SuiteMatrix {
+            name,
+            category,
+            csr: Arc::new(build()),
+            scale: 1.0,
+        })
+        .collect()
+}
+
 /// Scale of a stand-in relative to its UF original (>= 1).
 fn scale_for(uf_nnz: usize, synthetic_nnz: usize) -> f64 {
     if uf_nnz == 0 || synthetic_nnz == 0 {
@@ -458,6 +491,25 @@ mod tests {
         assert_eq!(names[names.len() - 1], "large-dense");
         assert!(names.contains(&"rajat30"));
         assert!(names.contains(&"webbase-1M"));
+    }
+
+    #[test]
+    fn spd_suite_members_are_symmetric_with_positive_diagonal() {
+        let suite = spd_suite();
+        assert_eq!(suite.len(), 3);
+        for m in &suite {
+            assert!(
+                sparseopt_core::sss::is_symmetric(&m.csr),
+                "{} must be symmetric",
+                m.name
+            );
+            let diag = m.csr.diagonal();
+            assert!(
+                diag.iter().all(|&d| d > 0.0),
+                "{} must have a positive diagonal",
+                m.name
+            );
+        }
     }
 
     #[test]

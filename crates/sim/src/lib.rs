@@ -15,6 +15,7 @@ pub mod membench;
 pub mod model;
 pub mod platform;
 pub mod roofline;
+pub mod trsv;
 
 pub use cache::{CacheHierarchy, CacheSim};
 pub use membench::{host_platform, stream_triad_gbs};
@@ -28,3 +29,4 @@ pub use platform::Platform;
 pub use roofline::{
     spmm_intensity, spmv_intensity, spmv_intensity_values_only, Roofline, RooflinePoint,
 };
+pub use trsv::{select_trsv_algo, simulate_trsv, TrsvProfile, LEVEL_SYNC_CYCLES};

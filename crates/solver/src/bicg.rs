@@ -158,9 +158,21 @@ mod tests {
             max_iters: 500,
         };
         let mut x1 = vec![0.0; 200];
-        let o1 = bicg(&a, &b, &mut x1, &JacobiPrecond::new(&a_mat), &opts);
+        let o1 = bicg(
+            &a,
+            &b,
+            &mut x1,
+            &JacobiPrecond::new(&a_mat).expect("zero-free diagonal"),
+            &opts,
+        );
         let mut x2 = vec![0.0; 200];
-        let o2 = bicgstab(&a, &b, &mut x2, &JacobiPrecond::new(&a_mat), &opts);
+        let o2 = bicgstab(
+            &a,
+            &b,
+            &mut x2,
+            &JacobiPrecond::new(&a_mat).expect("zero-free diagonal"),
+            &opts,
+        );
         assert!(o1.converged && o2.converged, "{o1:?} / {o2:?}");
         for (p, q) in x1.iter().zip(&x2) {
             assert!((p - q).abs() < 1e-6, "{p} vs {q}");

@@ -149,7 +149,7 @@ mod tests {
             &kernel,
             &b,
             &mut x,
-            &JacobiPrecond::new(&a),
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
             &SolverOptions {
                 tol: 1e-10,
                 max_iters: 500,

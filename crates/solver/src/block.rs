@@ -508,13 +508,25 @@ mod tests {
         };
         let b = rhs_block(n, 3);
         let mut xb = MultiVec::zeros(n, 3);
-        let out = block_cg(&spmm, &b, &mut xb, &JacobiPrecond::new(&a), &opts);
+        let out = block_cg(
+            &spmm,
+            &b,
+            &mut xb,
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
+            &opts,
+        );
         assert!(out.converged, "{out:?}");
 
         for j in 0..3 {
             let bj = b.column(j);
             let mut xj = vec![0.0; n];
-            let single = cg(&spmv, &bj, &mut xj, &JacobiPrecond::new(&a), &opts);
+            let single = cg(
+                &spmv,
+                &bj,
+                &mut xj,
+                &JacobiPrecond::new(&a).expect("zero-free diagonal"),
+                &opts,
+            );
             assert!(single.converged);
             for (p, q) in xb.column(j).iter().zip(&xj) {
                 assert!((p - q).abs() < 1e-6, "column {j}: {p} vs {q}");
@@ -565,7 +577,7 @@ mod tests {
             &kernel,
             &b,
             &mut x,
-            &JacobiPrecond::new(&a),
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
             &SolverOptions {
                 tol: 1e-10,
                 max_iters: 400,

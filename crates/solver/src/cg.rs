@@ -121,7 +121,13 @@ mod tests {
         let mut x0 = vec![0.0; n];
         let plain = cg(&kernel, &b, &mut x0, &IdentityPrecond, &opts);
         let mut x1 = vec![0.0; n];
-        let pre = cg(&kernel, &b, &mut x1, &JacobiPrecond::new(&a), &opts);
+        let pre = cg(
+            &kernel,
+            &b,
+            &mut x1,
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
+            &opts,
+        );
         assert!(plain.converged && pre.converged);
         // Poisson has constant diagonal so Jacobi ≈ identity in iterations;
         // it must at least not diverge or get dramatically worse.

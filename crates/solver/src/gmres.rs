@@ -311,7 +311,7 @@ mod tests {
             &kernel,
             &b,
             &mut x,
-            &JacobiPrecond::new(&a),
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
             20,
             &SolverOptions {
                 tol: 1e-10,

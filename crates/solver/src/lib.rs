@@ -24,6 +24,7 @@ pub mod blas;
 pub mod block;
 pub mod cg;
 pub mod eigen;
+pub mod factor;
 pub mod gmres;
 pub mod lsqr;
 pub mod precond;
@@ -33,9 +34,10 @@ pub use bicgstab::bicgstab;
 pub use block::{bicgstab_multi, block_cg, BlockSolveOutcome};
 pub use cg::cg;
 pub use eigen::{power_method, spd_condition_estimate, EigenOutcome};
+pub use factor::{ic0, ilu0, Ic0Precond, Ilu0Precond};
 pub use gmres::gmres;
 pub use lsqr::{cgnr, lsqr, NormalOp};
-pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
+pub use precond::{IdentityPrecond, JacobiPrecond, PrecondError, Preconditioner, SymGsPrecond};
 
 /// Iteration controls shared by all solvers.
 ///

@@ -73,11 +73,20 @@ fn main() {
     );
     let b = vec![1.0f64; a.nrows()];
     let mut x = vec![0.0f64; a.nrows()];
+    // Serving-path pattern: Jacobi when the diagonal allows it, identity
+    // otherwise — a bad matrix degrades the solve instead of crashing it.
+    let precond: Box<dyn Preconditioner> = match JacobiPrecond::new(&a) {
+        Ok(p) => Box::new(p),
+        Err(e) => {
+            eprintln!("jacobi unavailable ({e}); solving unpreconditioned");
+            Box::new(IdentityPrecond)
+        }
+    };
     let out = bicgstab(
         opt.kernel.as_ref(),
         &b,
         &mut x,
-        &JacobiPrecond::new(&a),
+        precond.as_ref(),
         &SolverOptions {
             tol: 1e-10,
             max_iters: 500,

@@ -15,7 +15,7 @@
 //! | [`ml`] | `sparseopt-ml` | multilabel CART decision tree, metrics, cross-validation, grid search |
 //! | [`classifier`] | `sparseopt-classifier` | bottleneck classes, per-class bounds, profile-/feature-guided classifiers |
 //! | [`optimizer`] | `sparseopt-optimizer` | Table II optimization pool, adaptive/trivial/oracle optimizers, amortization |
-//! | [`solver`] | `sparseopt-solver` | CG, BiCGSTAB, BiCG, GMRES(m), LSQR/CGNR least squares, block CG / batched BiCGSTAB over the multi-vector path, Jacobi preconditioning |
+//! | [`solver`] | `sparseopt-solver` | CG, BiCGSTAB, BiCG, GMRES(m), LSQR/CGNR least squares, block CG / batched BiCGSTAB over the multi-vector path, Jacobi / symmetric Gauss-Seidel / IC(0) / ILU(0) preconditioning |
 //!
 //! ## Quick start
 //!
@@ -60,7 +60,8 @@ pub mod prelude {
     };
     pub use sparseopt_sim::Platform;
     pub use sparseopt_solver::{
-        bicg, bicgstab, bicgstab_multi, block_cg, cg, cgnr, gmres, lsqr, BlockSolveOutcome,
-        IdentityPrecond, JacobiPrecond, NormalOp, SolveOutcome, SolverOptions,
+        bicg, bicgstab, bicgstab_multi, block_cg, cg, cgnr, gmres, ic0, ilu0, lsqr,
+        BlockSolveOutcome, Ic0Precond, IdentityPrecond, Ilu0Precond, JacobiPrecond, NormalOp,
+        PrecondError, Preconditioner, SolveOutcome, SolverOptions, SymGsPrecond,
     };
 }

@@ -93,7 +93,13 @@ fn bicgstab_and_gmres_agree_on_every_kernel() {
     let mut reference: Option<Vec<f64>> = None;
     for kernel in kernel_zoo(&a, &ctx) {
         let mut xb = vec![0.0f64; a.nrows()];
-        let ob = bicgstab(kernel.as_ref(), &b, &mut xb, &JacobiPrecond::new(&a), &opts);
+        let ob = bicgstab(
+            kernel.as_ref(),
+            &b,
+            &mut xb,
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
+            &opts,
+        );
         assert!(ob.converged, "bicgstab/{}: {ob:?}", kernel.name());
 
         let mut xg = vec![0.0f64; a.nrows()];
@@ -224,13 +230,25 @@ fn bicgstab_multi_matches_sequential_bicgstab() {
     let spmv = SerialCsr::new(a.clone());
     let kernel = ParallelCsr::baseline(a.clone(), ctx);
     let mut x = MultiVec::zeros(n, k);
-    let out = bicgstab_multi(&kernel, &b, &mut x, &JacobiPrecond::new(&a), &opts);
+    let out = bicgstab_multi(
+        &kernel,
+        &b,
+        &mut x,
+        &JacobiPrecond::new(&a).expect("zero-free diagonal"),
+        &opts,
+    );
     assert!(out.converged, "{out:?}");
 
     for j in 0..k {
         let bj = b.column(j);
         let mut xj = vec![0.0f64; n];
-        let single = bicgstab(&spmv, &bj, &mut xj, &JacobiPrecond::new(&a), &opts);
+        let single = bicgstab(
+            &spmv,
+            &bj,
+            &mut xj,
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
+            &opts,
+        );
         assert!(single.converged, "column {j}: {single:?}");
         for (p, q) in x.column(j).iter().zip(&xj) {
             assert!((p - q).abs() < 1e-5, "column {j}: {p} vs {q}");
@@ -267,7 +285,13 @@ fn bicg_converges_identically_on_every_kernel() {
     let mut reference: Option<Vec<f64>> = None;
     for kernel in kernel_zoo(&a, &ctx) {
         let mut x = vec![0.0f64; a.nrows()];
-        let out = bicg(kernel.as_ref(), &b, &mut x, &JacobiPrecond::new(&a), &opts);
+        let out = bicg(
+            kernel.as_ref(),
+            &b,
+            &mut x,
+            &JacobiPrecond::new(&a).expect("zero-free diagonal"),
+            &opts,
+        );
         assert!(out.converged, "bicg/{}: {out:?}", kernel.name());
         // One forward + one transposed stream per iteration + the residual.
         assert_eq!(out.spmv_calls, 2 * out.iterations + 1, "{}", kernel.name());
