@@ -98,6 +98,18 @@ impl InnerLoop {
         }
     }
 
+    /// Inverse of [`Self::label`] — used by the persistent plan cache to
+    /// round-trip a serialized plan. `None` for unknown labels (a
+    /// hand-edited cache entry must be rejected, not guessed at).
+    pub fn parse_label(label: &str) -> Option<InnerLoop> {
+        Some(match label {
+            "scalar" => InnerLoop::Scalar,
+            "unrolled" => InnerLoop::Unrolled4,
+            "simd" => InnerLoop::Simd,
+            _ => return None,
+        })
+    }
+
     /// Resolves `Simd` to `Unrolled4` when the host lacks AVX2, so the label
     /// reported matches what actually runs.
     pub fn resolve_for_host(self) -> InnerLoop {

@@ -9,12 +9,14 @@
 //! [`suite`] for the per-matrix mapping.
 
 pub mod features;
+pub mod fingerprint;
 pub mod generators;
 pub mod io;
 pub mod reorder;
 pub mod suite;
 
 pub use features::{FeatureSet, MatrixFeatures, ELEMS_PER_CACHE_LINE};
+pub use fingerprint::{MatrixFingerprint, FINGERPRINT_VERSION};
 pub use reorder::{bandwidth, reverse_cuthill_mckee, Permutation};
 pub use suite::{
     by_name, paper_suite, spd_suite, suite_names, training_suite, Category, SuiteMatrix,

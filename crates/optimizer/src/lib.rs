@@ -8,17 +8,23 @@
 
 pub mod amortization;
 pub mod optimizers;
+pub mod plan_cache;
 pub mod pool;
+pub mod rank;
+pub mod tuner;
 
 pub use amortization::{
-    amortization_iters, plan_conversion_cost_spmv, summarize, AmortizationRow, OptimizerKind,
-    JIT_COST_SPMV, TRIAL_ITERS,
+    amortization_iters, plan_conversion_cost_spmv, plan_setup_cost_spmv, summarize,
+    AmortizationRow, OptimizerKind, JIT_COST_SPMV, TRIAL_ITERS,
 };
 pub use optimizers::{
     guard_plan, inspector_executor_host_kernel, inspector_executor_sim_config, mkl_host_kernel,
     mkl_sim_config, AdaptiveOptimizer, MatrixEvaluation, OptimizedKernel, SimOptimizerStudy,
 };
+pub use plan_cache::{MeasuredCosts, PlanCache, PlanCacheEntry, PLAN_CACHE_SCHEMA};
 pub use pool::{
     select_optimizations, single_and_pair_plans, single_plans, OpRequirements, Optimization,
     OptimizationPlan, LONG_ROW_FACTOR, LONG_ROW_SKEW,
 };
+pub use rank::{candidate_plans, rank_plans, ranked_candidates, RankedPlan};
+pub use tuner::{PlanTuner, TuneBudget, TuneOutcome, TunedKernel, TunerStatsSnapshot};

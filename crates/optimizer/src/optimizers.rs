@@ -15,7 +15,8 @@
 //! platform — regenerates the paper's figures) and *host* (real kernels on
 //! this machine).
 
-use crate::pool::{single_and_pair_plans, OpRequirements, OptimizationPlan};
+use crate::pool::{OpRequirements, OptimizationPlan};
+use crate::rank::{rank_plans, ranked_candidates};
 use sparseopt_classifier::{
     BoundsProfiler, ClassSet, FeatureGuidedClassifier, PerClassBounds, ProfileGuidedClassifier,
     SimBoundsProfiler,
@@ -93,9 +94,9 @@ pub fn guard_plan(
     platform: &Platform,
     plan: OptimizationPlan,
 ) -> (OptimizationPlan, f64) {
-    let mut best = OptimizationPlan::baseline();
-    let mut best_g = simulate(profile, platform, &best.to_sim_config()).gflops;
-    let mut candidates = vec![plan.clone()];
+    // Baseline first: the shared ranking is stable, so on a modeled tie the
+    // baseline wins and the guard never ships a plan that merely equals it.
+    let mut candidates = vec![OptimizationPlan::baseline(), plan.clone()];
     if plan.inner == InnerLoop::Simd {
         let mut p = plan.clone();
         p.inner = InnerLoop::Unrolled4;
@@ -106,14 +107,11 @@ pub fn guard_plan(
         p.inner = InnerLoop::Scalar;
         candidates.push(p);
     }
-    for c in candidates {
-        let g = simulate(profile, platform, &c.to_sim_config()).gflops;
-        if g > best_g {
-            best = c;
-            best_g = g;
-        }
-    }
-    (best, best_g)
+    let best = rank_plans(profile, platform, candidates)
+        .into_iter()
+        .next()
+        .expect("guard candidate list is never empty");
+    (best.plan, best.modeled_gflops)
 }
 
 /// Everything Fig. 7 plots for one matrix on one platform, in Gflop/s.
@@ -208,16 +206,14 @@ impl SimOptimizerStudy {
         let mkl = simulate(&profile, platform, &mkl_sim_config(platform)).gflops;
         let mkl_ie = simulate(&profile, platform, &inspector_executor_sim_config()).gflops;
 
-        // Oracle: exhaustive sweep over singles + pairs + baseline.
-        let mut oracle = baseline;
-        let mut oracle_plan = OptimizationPlan::baseline();
-        for plan in single_and_pair_plans(features) {
-            let g = self.plan_gflops(&profile, &plan);
-            if g > oracle {
-                oracle = g;
-                oracle_plan = plan;
-            }
-        }
+        // Oracle: the top of the shared candidate ranking (baseline +
+        // deduplicated singles + pairs — the same list the tuner draws its
+        // measurement candidates from).
+        let top = ranked_candidates(&profile, platform, features)
+            .into_iter()
+            .next()
+            .expect("candidate list is never empty");
+        let (oracle, oracle_plan) = (top.modeled_gflops, top.plan);
 
         // Profile-guided adaptive plan, run through the sim-backed no-loss
         // guard: the recorded plan is whatever the guard actually keeps.
@@ -299,6 +295,12 @@ impl AdaptiveOptimizer {
             llc_bytes: 32 * 1024 * 1024,
             guard_platform: Platform::broadwell(),
         }
+    }
+
+    /// The execution context kernels are built against (shared with the
+    /// tuning layer, which builds and measures candidate operators).
+    pub fn ctx(&self) -> &Arc<ExecCtx> {
+        &self.ctx
     }
 
     /// Profile-guided optimization: measures the per-class bounds with the

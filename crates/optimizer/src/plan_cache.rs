@@ -1,0 +1,446 @@
+//! The persistent plan cache — tuned winners, keyed by structural
+//! fingerprint, reused across processes.
+//!
+//! The cache is a small versioned JSON file (default
+//! `~/.cache/sparseopt/plans.json`, overridable with the
+//! `SPARSEOPT_PLAN_CACHE` environment variable or an explicit path). Each
+//! entry records a [`MatrixFingerprint`](sparseopt_matrix::MatrixFingerprint)
+//! key, the winning plan's serialized parts, and the *measured* costs the
+//! tuner observed — setup time in baseline-SpMV equivalents plus per-apply
+//! seconds for the winner and the scalar baseline — so a warm process can
+//! skip measurement entirely *and* feed real numbers into the Table V
+//! amortization analysis instead of the fixed per-plan charges.
+//!
+//! Robustness contract: a missing file is a clean cold start; a truncated,
+//! version-mismatched, or hand-edited file **degrades to a cold start with
+//! a warning** (returned to the caller, who logs it) — it must never panic
+//! and never half-load. Writes go through a temp-file rename so a crashed
+//! process cannot leave a torn file behind.
+//!
+//! The vendored `serde` is a no-op marker stand-in (see `vendor/README.md`),
+//! so serialization is hand-rolled in the same line-oriented style as
+//! `ci_bench`'s trajectory files — one entry per line, strict parsing.
+
+use crate::pool::{Optimization, OptimizationPlan};
+use sparseopt_core::prelude::InnerLoop;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Cache file schema version. Bump on any layout change: a mismatched file
+/// is discarded (with a warning), never reinterpreted.
+pub const PLAN_CACHE_SCHEMA: u32 = 1;
+
+/// Measured costs of a tuned plan, in the units the amortization analysis
+/// consumes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasuredCosts {
+    /// Wall-clock setup (format conversion + operator construction) in
+    /// baseline-SpMV equivalents — the measured replacement for the fixed
+    /// per-plan conversion charges.
+    pub setup_spmv: f64,
+    /// Best-of-batches per-apply seconds of the winning operator.
+    pub apply_secs: f64,
+    /// Best-of-batches per-apply seconds of the scalar CSR baseline on the
+    /// same matrix (the amortization reference and the tuner's budget unit).
+    pub baseline_secs: f64,
+    /// The winner's measured Gflop/s, for reports.
+    pub gflops: f64,
+}
+
+/// One cached winner.
+#[derive(Clone, Debug)]
+pub struct PlanCacheEntry {
+    /// Fingerprint key (see `MatrixFingerprint::key`).
+    pub fingerprint: String,
+    /// The winning plan's pool members.
+    pub optimizations: Vec<Optimization>,
+    /// Inner-loop flavor the winner ran with.
+    pub inner: InnerLoop,
+    /// Decomposition threshold, when the plan decomposes.
+    pub decompose_threshold: Option<usize>,
+    /// The measured costs backing the win.
+    pub measured: MeasuredCosts,
+}
+
+impl PlanCacheEntry {
+    /// Rebuilds the winning plan exactly as measured.
+    pub fn to_plan(&self) -> OptimizationPlan {
+        OptimizationPlan::from_saved(
+            self.optimizations.clone(),
+            self.inner,
+            self.decompose_threshold,
+        )
+    }
+}
+
+/// The in-process cache handle. `path: None` keeps it purely in-memory
+/// (tests, or callers managing persistence themselves).
+pub struct PlanCache {
+    entries: HashMap<String, PlanCacheEntry>,
+    path: Option<PathBuf>,
+}
+
+impl PlanCache {
+    /// An empty, never-persisted cache.
+    pub fn in_memory() -> Self {
+        Self {
+            entries: HashMap::new(),
+            path: None,
+        }
+    }
+
+    /// Opens (or cold-starts) the cache at `path`. The second return is the
+    /// load warning when the file existed but could not be used — the
+    /// caller decides where to log it; the cache itself is empty-but-armed
+    /// in that case and the next save overwrites the bad file.
+    pub fn at_path(path: impl Into<PathBuf>) -> (Self, Option<String>) {
+        let path = path.into();
+        let (entries, warning) = match std::fs::read_to_string(&path) {
+            // A missing file is the normal cold start, not a warning.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (HashMap::new(), None),
+            Err(e) => (
+                HashMap::new(),
+                Some(format!(
+                    "plan cache {}: unreadable ({e}); starting cold",
+                    path.display()
+                )),
+            ),
+            Ok(text) => match parse(&text) {
+                Ok(entries) => (entries, None),
+                Err(e) => (
+                    HashMap::new(),
+                    Some(format!("plan cache {}: {e}; starting cold", path.display())),
+                ),
+            },
+        };
+        (
+            Self {
+                entries,
+                path: Some(path),
+            },
+            warning,
+        )
+    }
+
+    /// The default on-disk location: `$SPARSEOPT_PLAN_CACHE`, else
+    /// `$XDG_CACHE_HOME/sparseopt/plans.json`, else
+    /// `$HOME/.cache/sparseopt/plans.json`, else `./.sparseopt-plans.json`
+    /// for homeless environments.
+    pub fn default_path() -> PathBuf {
+        if let Ok(p) = std::env::var("SPARSEOPT_PLAN_CACHE") {
+            return PathBuf::from(p);
+        }
+        let base = std::env::var("XDG_CACHE_HOME")
+            .map(PathBuf::from)
+            .or_else(|_| std::env::var("HOME").map(|h| PathBuf::from(h).join(".cache")));
+        match base {
+            Ok(b) => b.join("sparseopt").join("plans.json"),
+            Err(_) => PathBuf::from(".sparseopt-plans.json"),
+        }
+    }
+
+    /// Opens the cache at [`Self::default_path`].
+    pub fn open_default() -> (Self, Option<String>) {
+        Self::at_path(Self::default_path())
+    }
+
+    /// Looks a fingerprint key up.
+    pub fn get(&self, fingerprint: &str) -> Option<&PlanCacheEntry> {
+        self.entries.get(fingerprint)
+    }
+
+    /// Inserts (or replaces) a winner and persists when a path is set.
+    /// Persistence failures degrade to a stderr warning — a read-only cache
+    /// directory must not take down the serving path.
+    pub fn insert(&mut self, entry: PlanCacheEntry) {
+        self.entries.insert(entry.fingerprint.clone(), entry);
+        if let Err(e) = self.save() {
+            eprintln!("warning: plan cache not persisted: {e}");
+        }
+    }
+
+    /// Number of cached winners.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (and persists the empty state when file-backed) —
+    /// "how to clear it" from the README is exactly this, or deleting the
+    /// file.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        if let Err(e) = self.save() {
+            eprintln!("warning: plan cache not persisted: {e}");
+        }
+    }
+
+    /// The backing file, when persistent.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Writes the cache to its path (no-op when in-memory). Temp-file +
+    /// rename, so readers never observe a torn file.
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, render(&self.entries))?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Serializes entries in deterministic (key-sorted) order.
+fn render(entries: &HashMap<String, PlanCacheEntry>) -> String {
+    let mut keys: Vec<&String> = entries.keys().collect();
+    keys.sort();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {PLAN_CACHE_SCHEMA},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, k) in keys.iter().enumerate() {
+        let e = &entries[*k];
+        let opts = e
+            .optimizations
+            .iter()
+            .map(|o| o.label())
+            .collect::<Vec<_>>()
+            .join("+");
+        let comma = if i + 1 < keys.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"fingerprint\": \"{}\", \"opts\": \"{}\", \"inner\": \"{}\", \
+             \"threshold\": {}, \"setup_spmv\": {:e}, \"apply_secs\": {:e}, \
+             \"baseline_secs\": {:e}, \"gflops\": {:e}}}{comma}\n",
+            e.fingerprint,
+            opts,
+            e.inner.label(),
+            e.decompose_threshold.unwrap_or(0),
+            e.measured.setup_spmv,
+            e.measured.apply_secs,
+            e.measured.baseline_secs,
+            e.measured.gflops,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Strict line-oriented parser for files [`render`] wrote. Any anomaly —
+/// missing/mismatched schema, malformed entry, unknown plan label — is an
+/// error for the *whole* file: a half-trusted cache is worse than a cold
+/// start.
+fn parse(text: &str) -> Result<HashMap<String, PlanCacheEntry>, String> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        Some(if let Some(stripped) = rest.strip_prefix('"') {
+            stripped[..stripped.find('"')?].to_string()
+        } else {
+            rest[..rest.find(['}', ','])?].trim().to_string()
+        })
+    };
+    let mut schema = None;
+    let mut entries = HashMap::new();
+    let mut saw_close = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(s) = field(line, "schema") {
+            schema = Some(
+                s.parse::<u32>()
+                    .map_err(|_| at(format!("bad schema `{s}`")))?,
+            );
+            continue;
+        }
+        if line.trim() == "}" {
+            saw_close = true;
+        }
+        let Some(fp) = field(line, "fingerprint") else {
+            continue; // structural line
+        };
+        let need = |key: &str| field(line, key).ok_or_else(|| at(format!("missing `{key}`")));
+        let fnum = |key: &str| -> Result<f64, String> {
+            let raw = need(key)?;
+            raw.parse::<f64>()
+                .map_err(|_| at(format!("bad `{key}` value `{raw}`")))
+        };
+        let opts_raw = need("opts")?;
+        let mut optimizations = Vec::new();
+        if !opts_raw.is_empty() {
+            for label in opts_raw.split('+') {
+                optimizations.push(
+                    Optimization::parse_label(label)
+                        .ok_or_else(|| at(format!("unknown optimization `{label}`")))?,
+                );
+            }
+        }
+        let inner_raw = need("inner")?;
+        let inner = InnerLoop::parse_label(&inner_raw)
+            .ok_or_else(|| at(format!("unknown inner loop `{inner_raw}`")))?;
+        let threshold = need("threshold")?
+            .parse::<usize>()
+            .map_err(|_| at("bad `threshold`".into()))?;
+        let measured = MeasuredCosts {
+            setup_spmv: fnum("setup_spmv")?,
+            apply_secs: fnum("apply_secs")?,
+            baseline_secs: fnum("baseline_secs")?,
+            gflops: fnum("gflops")?,
+        };
+        for (k, v) in [
+            ("apply_secs", measured.apply_secs),
+            ("baseline_secs", measured.baseline_secs),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(at(format!("non-positive `{k}`")));
+            }
+        }
+        if !(measured.setup_spmv.is_finite() && measured.setup_spmv >= 0.0) {
+            return Err(at("negative `setup_spmv`".into()));
+        }
+        entries.insert(
+            fp.clone(),
+            PlanCacheEntry {
+                fingerprint: fp,
+                optimizations,
+                inner,
+                decompose_threshold: (threshold > 0).then_some(threshold),
+                measured,
+            },
+        );
+    }
+    match schema {
+        None => Err("missing schema field".into()),
+        Some(s) if s != PLAN_CACHE_SCHEMA => Err(format!(
+            "schema version {s} (this build reads {PLAN_CACHE_SCHEMA})"
+        )),
+        Some(_) if !saw_close => Err("truncated file (no closing brace)".into()),
+        Some(_) => Ok(entries),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "sparseopt-plan-cache-{name}-{}",
+            std::process::id()
+        ))
+    }
+
+    fn entry(fp: &str) -> PlanCacheEntry {
+        PlanCacheEntry {
+            fingerprint: fp.into(),
+            optimizations: vec![Optimization::MergeSplit, Optimization::Prefetch],
+            inner: InnerLoop::Unrolled4,
+            decompose_threshold: Some(42),
+            measured: MeasuredCosts {
+                setup_spmv: 2.75,
+                apply_secs: 1.25e-4,
+                baseline_secs: 2.5e-4,
+                gflops: 3.5,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (mut cache, warn) = PlanCache::at_path(&path);
+        assert!(warn.is_none(), "missing file is a clean cold start");
+        cache.insert(entry("v1:r10:z12:a8:d0:s16:p0"));
+
+        let (reloaded, warn) = PlanCache::at_path(&path);
+        assert!(warn.is_none(), "got warning: {warn:?}");
+        let e = reloaded.get("v1:r10:z12:a8:d0:s16:p0").expect("hit");
+        assert_eq!(
+            e.optimizations,
+            vec![Optimization::MergeSplit, Optimization::Prefetch]
+        );
+        assert_eq!(e.inner, InnerLoop::Unrolled4);
+        assert_eq!(e.decompose_threshold, Some(42));
+        assert_eq!(e.measured, entry("x").measured);
+        let plan = e.to_plan();
+        assert_eq!(plan.label(), "merge-split+prefetch");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_cold_start_with_warning() {
+        for (name, contents) in [
+            ("truncated", "{\n  \"schema\": 1,\n  \"entries\": [\n"),
+            ("not-json", "hello world\n"),
+            (
+                "bad-label",
+                "{\n  \"schema\": 1,\n  \"entries\": [\n    {\"fingerprint\": \"v1:x\", \
+                 \"opts\": \"warp-drive\", \"inner\": \"scalar\", \"threshold\": 0, \
+                 \"setup_spmv\": 1e0, \"apply_secs\": 1e-4, \"baseline_secs\": 1e-4, \
+                 \"gflops\": 1e0}\n  ]\n}\n",
+            ),
+            (
+                "bad-number",
+                "{\n  \"schema\": 1,\n  \"entries\": [\n    {\"fingerprint\": \"v1:x\", \
+                 \"opts\": \"\", \"inner\": \"scalar\", \"threshold\": 0, \
+                 \"setup_spmv\": banana, \"apply_secs\": 1e-4, \"baseline_secs\": 1e-4, \
+                 \"gflops\": 1e0}\n  ]\n}\n",
+            ),
+        ] {
+            let path = tmp(name);
+            std::fs::write(&path, contents).unwrap();
+            let (cache, warn) = PlanCache::at_path(&path);
+            assert!(cache.is_empty(), "{name}: must cold-start");
+            assert!(warn.is_some(), "{name}: must warn");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn version_mismatch_cold_starts_with_warning() {
+        let path = tmp("version");
+        std::fs::write(&path, "{\n  \"schema\": 99,\n  \"entries\": [\n  ]\n}\n").unwrap();
+        let (cache, warn) = PlanCache::at_path(&path);
+        assert!(cache.is_empty());
+        let warn = warn.expect("must warn");
+        assert!(warn.contains("schema version 99"), "got: {warn}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn baseline_plan_serializes_as_empty_opts() {
+        let path = tmp("baseline");
+        let _ = std::fs::remove_file(&path);
+        let (mut cache, _) = PlanCache::at_path(&path);
+        let mut e = entry("v1:base");
+        e.optimizations = Vec::new();
+        e.decompose_threshold = None;
+        cache.insert(e);
+        let (reloaded, warn) = PlanCache::at_path(&path);
+        assert!(warn.is_none(), "{warn:?}");
+        let e = reloaded.get("v1:base").unwrap();
+        assert!(e.to_plan().is_noop());
+        assert_eq!(e.decompose_threshold, None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_cache_never_touches_disk() {
+        let mut cache = PlanCache::in_memory();
+        cache.insert(entry("v1:mem"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.path().is_none());
+        assert!(cache.save().is_ok());
+    }
+}

@@ -84,6 +84,13 @@ impl Optimization {
         }
     }
 
+    /// Inverse of [`Self::label`] — used by the persistent plan cache to
+    /// round-trip serialized plans. `None` for unknown labels, so a
+    /// hand-edited cache entry is rejected rather than misread.
+    pub fn parse_label(label: &str) -> Option<Optimization> {
+        Optimization::ALL.into_iter().find(|o| o.label() == label)
+    }
+
     /// The class this optimization addresses (Table II row).
     pub fn target_class(self) -> Bottleneck {
         match self {
@@ -278,6 +285,28 @@ impl OptimizationPlan {
             classes.insert(o.target_class());
         }
         Self::assemble(classes, opts.to_vec(), features)
+    }
+
+    /// Reconstructs a plan from its serialized parts (the persistent plan
+    /// cache's deserialization path). Classes are re-derived from each
+    /// optimization's target class; the inner loop and decomposition
+    /// threshold are taken verbatim — a cached winner must rebuild exactly
+    /// the operator that was measured, not re-resolve against features.
+    pub fn from_saved(
+        optimizations: Vec<Optimization>,
+        inner: InnerLoop,
+        decompose_threshold: Option<usize>,
+    ) -> Self {
+        let mut classes = ClassSet::EMPTY;
+        for o in &optimizations {
+            classes.insert(o.target_class());
+        }
+        Self {
+            classes,
+            optimizations,
+            decompose_threshold,
+            inner,
+        }
     }
 
     /// True when this plan changes nothing.

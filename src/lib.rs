@@ -54,9 +54,10 @@ pub mod prelude {
         PerClassBounds, ProfileGuidedClassifier, SimBoundsProfiler,
     };
     pub use sparseopt_core::prelude::*;
-    pub use sparseopt_matrix::{FeatureSet, MatrixFeatures, SuiteMatrix};
+    pub use sparseopt_matrix::{FeatureSet, MatrixFeatures, MatrixFingerprint, SuiteMatrix};
     pub use sparseopt_optimizer::{
-        AdaptiveOptimizer, OpRequirements, Optimization, OptimizationPlan, SimOptimizerStudy,
+        AdaptiveOptimizer, OpRequirements, Optimization, OptimizationPlan, PlanCache, PlanTuner,
+        SimOptimizerStudy, TuneBudget, TuneOutcome, TunedKernel,
     };
     pub use sparseopt_sim::Platform;
     pub use sparseopt_solver::{

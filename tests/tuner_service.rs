@@ -1,0 +1,127 @@
+//! End-to-end acceptance of the tuning service through the facade:
+//! cold tune → warm hit with zero timed trials, persistence across tuner
+//! instances (stand-in for a second process), the `SPARSEOPT_PLAN_CACHE`
+//! override, and graceful degradation on a vandalized cache file.
+
+use sparseopt::matrix::generators as g;
+use sparseopt::optimizer::plan_cache::PLAN_CACHE_SCHEMA;
+use sparseopt::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn arc(m: CooMatrix) -> Arc<CsrMatrix> {
+    Arc::new(CsrMatrix::from_coo(&m))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sparseopt-tuner-service-{name}-{}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn second_optimize_for_same_fingerprint_runs_zero_timed_trials() {
+    let csr = arc(g::few_dense_rows(4000, 3, 2, 7));
+    let tuner = PlanTuner::new(ExecCtx::new(2));
+    let profiler = SimBoundsProfiler::new(Platform::knc());
+
+    let cold = tuner.optimize_profiled(&csr, &profiler);
+    let after_cold = tuner.stats();
+    assert_eq!(after_cold.misses, 1);
+    assert!(after_cold.timed_trials > 0, "cold tune must measure");
+    assert!(cold.measured.is_some(), "cold tune must record costs");
+
+    // A structurally identical matrix (same generator, same parameters,
+    // fresh object) maps to the same fingerprint: the tuned plan is served
+    // without a single timed trial.
+    let twin = arc(g::few_dense_rows(4000, 3, 2, 7));
+    let warm = tuner.optimize_profiled(&twin, &profiler);
+    let after_warm = tuner.stats();
+    assert_eq!(after_warm.hits, 1);
+    assert_eq!(
+        after_warm.timed_trials, after_cold.timed_trials,
+        "warm path must add zero timed trials"
+    );
+    assert_eq!(warm.outcome, TuneOutcome::CacheHit);
+    assert_eq!(warm.plan.label(), cold.plan.label());
+
+    // The warm kernel still computes the right thing.
+    let x: Vec<f64> = (0..4000).map(|i| (i as f64 * 0.013).sin() + 1.0).collect();
+    let mut got = vec![0.0; 4000];
+    warm.kernel.spmv(&x, &mut got);
+    let mut want = vec![0.0; 4000];
+    SerialCsr::new(twin.clone()).spmv(&x, &mut want);
+    for (a, b) in got.iter().zip(&want) {
+        assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+}
+
+#[test]
+fn env_override_points_the_default_cache_at_a_custom_file() {
+    let path = tmp("env-override");
+    let _ = std::fs::remove_file(&path);
+    // Serialized with no other test touching this variable; restore after.
+    std::env::set_var("SPARSEOPT_PLAN_CACHE", &path);
+    let resolved = PlanCache::default_path();
+    std::env::remove_var("SPARSEOPT_PLAN_CACHE");
+    assert_eq!(resolved, path);
+
+    // And a tuner writing through that path leaves a parseable cache file.
+    let (cache, warn) = PlanCache::at_path(&path);
+    assert!(warn.is_none());
+    let tuner = PlanTuner::with_cache(ExecCtx::new(2), cache);
+    let csr = arc(g::banded(4000, 3));
+    tuner.optimize_profiled(&csr, &SimBoundsProfiler::new(Platform::knc()));
+    let text = std::fs::read_to_string(&path).expect("cache file written");
+    assert!(
+        text.contains(&format!("\"schema\": {PLAN_CACHE_SCHEMA}")),
+        "cache is versioned: {text}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn hand_edited_cache_never_panics_and_reverts_to_classifier_path() {
+    let path = tmp("vandalized");
+    // A plausible hand-edit: someone renamed an optimization label.
+    std::fs::write(
+        &path,
+        format!(
+            "{{\n  \"schema\": {PLAN_CACHE_SCHEMA},\n  \"entries\": [\n    \
+             {{\"fingerprint\": \"v1:r12:z15:a8:d4:s0:p0\", \"opts\": \"turbo-mode\", \
+             \"inner\": \"simd\", \"threshold\": 0, \"setup_spmv\": 1e0, \
+             \"apply_secs\": 1e-4, \"baseline_secs\": 2e-4, \"gflops\": 1e0}}\n  ]\n}}\n"
+        ),
+    )
+    .unwrap();
+    let (cache, warn) = PlanCache::at_path(&path);
+    let warn = warn.expect("hand-edited cache must warn");
+    assert!(
+        warn.contains("turbo-mode"),
+        "warning names the bad label: {warn}"
+    );
+
+    // The tuner still serves a correct kernel via the classifier path.
+    let tuner = PlanTuner::with_cache(ExecCtx::new(2), cache);
+    let csr = arc(g::banded(3000, 2));
+    let tuned = tuner.optimize_profiled(&csr, &SimBoundsProfiler::new(Platform::knc()));
+    assert_ne!(tuned.outcome, TuneOutcome::CacheHit);
+    assert_eq!(tuner.stats().misses, 1);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn tuned_amortization_feeds_the_table5_analysis() {
+    use sparseopt::optimizer::plan_setup_cost_spmv;
+    let csr = arc(g::few_dense_rows(3000, 3, 2, 5));
+    let tuner = PlanTuner::new(ExecCtx::new(2));
+    let tuned = tuner.optimize_profiled(&csr, &SimBoundsProfiler::new(Platform::knc()));
+    // With a measurement, the setup charge is the measured one; without,
+    // the fixed Table V model applies — the solver-side analysis can call
+    // this one function in both regimes.
+    let with_measured = plan_setup_cost_spmv(&tuned.plan, tuned.measured_setup_spmv());
+    assert_eq!(with_measured, tuned.measured_setup_spmv().unwrap());
+    let cold_model = plan_setup_cost_spmv(&tuned.plan, None);
+    assert!(cold_model >= 0.0);
+}
