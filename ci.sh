@@ -38,12 +38,43 @@ doc_tier() {
   RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 }
 
+md_link_tier() {
+  # Markdown link lint: every intra-repo link target in the tracked
+  # markdown (README, docs/, ROADMAP, ...) must exist on disk, so the
+  # architecture/benchmarking book cannot rot when files move.
+  python3 - <<'PY'
+import re, subprocess, sys
+from pathlib import Path
+
+files = subprocess.run(
+    ["git", "ls-files", "*.md"], capture_output=True, text=True, check=True
+).stdout.split()
+# Retrieved reference material (paper scrapes) is not ours to fix.
+files = [f for f in files if f not in ("PAPERS.md", "SNIPPETS.md", "PAPER.md")]
+link = re.compile(r"\]\(([^)\s]+)\)")
+bad = []
+for f in files:
+    text = Path(f).read_text(encoding="utf-8")
+    for target in link.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if path and not (Path(f).parent / path).exists():
+            bad.append(f"{f}: broken link -> {target}")
+if bad:
+    print("\n".join(bad), file=sys.stderr)
+    sys.exit(1)
+print(f"markdown links ok across {len(files)} file(s)")
+PY
+}
+
 tier "fmt"              cargo fmt --check
 tier "clippy"           cargo clippy --workspace --all-targets -- -D warnings
 tier "test (debug)"     cargo test --workspace -q
 
 if [ "$mode" = full ]; then
   tier "rustdoc"        doc_tier
+  tier "md links"       md_link_tier
   # Release tier: the kernel property suites must also hold under full
   # optimization (SIMD paths, FMA contraction, aggressive inlining).
   tier "test (release)" cargo test --workspace --release -q
@@ -52,6 +83,9 @@ if [ "$mode" = full ]; then
   # silently rot: a panicking or mis-wired benchmark fails CI here.
   tier "bench smoke"    cargo bench --workspace -- --test
   tier "examples"       cargo build --examples
+  # Serving smoke: drive a live multi-tenant server with mixed traffic and
+  # verify every coalesced reply against a serial reference.
+  tier "serve smoke"    cargo run --release -q -p sparseopt-bench --bin traffic -- --smoke
   # Perf gate: pinned micro-suite vs the committed baseline trajectory.
   tier "bench gate"     cargo run --release -q -p sparseopt-bench --bin ci_bench
 fi

@@ -1,0 +1,296 @@
+//! `traffic` — a deterministic traffic generator for the serving layer.
+//!
+//! Drives an `SpmvServer` the way the target deployment does: several
+//! client threads, each its own tenant, firing bursts of `y = A·x`
+//! requests against one registered matrix. Every operand is derived from
+//! `(seed, client, request)` alone, so two runs with the same flags submit
+//! bit-identical traffic — the run is a reproducible experiment, not a
+//! load test with a dice roll inside.
+//!
+//! Reported at the end: request throughput (and its Gflop/s equivalent),
+//! the effective batch width the coalescer achieved (the cross-request
+//! `k`), the batch-width histogram, latency p50/p95/p99, and the shed
+//! count.
+//!
+//! `--smoke` is the CI mode (`ci.sh full` runs it): a small matrix, a
+//! short fixed trace, and hard checks instead of numbers — every request
+//! must complete, sampled replies must match a serial reference SpMV to
+//! rounding (coalesced batches run the FMA-contracted SpMM tiles, so
+//! agreement is to ~1e-12 relative, not bit for bit), a solve request
+//! must converge, and the stats registry must balance. Exits nonzero on
+//! any violation.
+//!
+//! Usage:
+//!   traffic [--smoke] [--n ROWS] [--band HALF_BW] [--clients C]
+//!           [--burst B] [--rounds R] [--window-us U] [--max-batch K]
+//!           [--seed S]
+
+use sparseopt_core::prelude::*;
+use sparseopt_matrix::generators as g;
+use sparseopt_serve::{Reply, ServeConfig, SpmvServer, Ticket, TuneBudget};
+use sparseopt_solver::SolverOptions;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    smoke: bool,
+    n: usize,
+    band: usize,
+    clients: usize,
+    burst: usize,
+    rounds: usize,
+    window_us: u64,
+    max_batch: usize,
+    seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            smoke: false,
+            n: 20_000,
+            band: 4,
+            clients: 4,
+            burst: 8,
+            rounds: 32,
+            window_us: 200,
+            max_batch: 16,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    let next_usize = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {
+                o.smoke = true;
+                // Small, fast, and still wide enough to coalesce.
+                o.n = 2_000;
+                o.clients = 2;
+                o.burst = 8;
+                o.rounds = 4;
+            }
+            "--n" => o.n = next_usize(&mut args, "--n"),
+            "--band" => o.band = next_usize(&mut args, "--band"),
+            "--clients" => o.clients = next_usize(&mut args, "--clients").max(1),
+            "--burst" => o.burst = next_usize(&mut args, "--burst").max(1),
+            "--rounds" => o.rounds = next_usize(&mut args, "--rounds").max(1),
+            "--window-us" => o.window_us = next_usize(&mut args, "--window-us") as u64,
+            "--max-batch" => o.max_batch = next_usize(&mut args, "--max-batch").max(1),
+            "--seed" => o.seed = next_usize(&mut args, "--seed") as u64,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+/// The deterministic operand for request `(client, index)`: a cheap
+/// splitmix-style hash of `(seed, client, index)` seeds a phase, and the
+/// vector is a sine ramp from it. Reproducible and distinct per request.
+fn operand(n: usize, seed: u64, client: usize, index: usize) -> Vec<f64> {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(client as u64 + 1))
+        .wrapping_add(0x2545_f491_4f6c_dd1du64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let phase = (z >> 11) as f64 / (1u64 << 53) as f64;
+    (0..n)
+        .map(|i| 0.5 + (i as f64 * 0.13 + phase * std::f64::consts::TAU).sin())
+        .collect()
+}
+
+fn main() {
+    let o = parse_args();
+    let csr = Arc::new(CsrMatrix::from_coo(&g::symmetric_banded(o.n, o.band)));
+    let flops_per_request = 2.0 * csr.nnz() as f64;
+
+    let ctx = ExecCtx::host();
+    let cfg = ServeConfig {
+        batch_window: Duration::from_micros(o.window_us),
+        max_batch: o.max_batch,
+        // Bursts must be admissible: shedding is a configuration under
+        // test only via headroom (burst ≤ capacity), not the common case.
+        tenant_capacity: (o.burst * 2).max(8),
+        tune_budget: TuneBudget::minimal(),
+        ..ServeConfig::default()
+    };
+    let server = SpmvServer::new(ctx.clone(), cfg);
+    let t_reg = Instant::now();
+    let matrix = server.register_matrix("traffic", csr.clone());
+    let info = server.matrix_info(matrix).expect("just registered");
+    println!(
+        "traffic: {}x{} band matrix, {} nnz; plan [{}] ({}) in {:.1} ms",
+        info.shape.0,
+        info.shape.1,
+        info.nnz,
+        info.plan_label,
+        if info.warm { "warm" } else { "cold-tuned" },
+        t_reg.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "trace: {} client(s) x {} round(s) x burst {} (window {} us, max batch {})",
+        o.clients, o.rounds, o.burst, o.window_us, o.max_batch
+    );
+
+    let tenants: Vec<_> = (0..o.clients)
+        .map(|c| server.register_tenant(&format!("client-{c}")))
+        .collect();
+
+    let total_requests = o.clients * o.rounds * o.burst;
+    let t0 = Instant::now();
+    let mismatches = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .enumerate()
+            .map(|(c, &tenant)| {
+                let server = &server;
+                let csr = &csr;
+                scope.spawn(move || {
+                    let mut bad = 0usize;
+                    let reference = SerialCsr::new(csr.clone());
+                    for round in 0..o.rounds {
+                        let mut burst: Vec<(usize, Ticket)> = Vec::with_capacity(o.burst);
+                        for b in 0..o.burst {
+                            let index = round * o.burst + b;
+                            let x = operand(o.n, o.seed, c, index);
+                            // Burst submits never shed (capacity covers a
+                            // full burst); treat anything else as fatal.
+                            let ticket = server
+                                .submit(tenant, matrix, x)
+                                .expect("burst within tenant capacity");
+                            burst.push((index, ticket));
+                        }
+                        for (index, ticket) in burst {
+                            let reply = ticket.wait().expect("server dropped a request");
+                            // Smoke mode: verify the first request of each
+                            // round against a serial reference (to
+                            // rounding — coalesced replies come off the
+                            // FMA-contracted SpMM tiles).
+                            if o.smoke && index % o.burst == 0 {
+                                let Reply::Vector(y) = reply else {
+                                    bad += 1;
+                                    continue;
+                                };
+                                let x = operand(o.n, o.seed, c, index);
+                                let mut want = vec![0.0; o.n];
+                                reference.spmv(&x, &mut want);
+                                let close = y
+                                    .iter()
+                                    .zip(&want)
+                                    .all(|(a, b)| (a - b).abs() <= 1e-12 * (1.0 + b.abs()));
+                                if !close {
+                                    bad += 1;
+                                }
+                            }
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum::<usize>()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = server.stats();
+    let throughput = total_requests as f64 / elapsed;
+    println!(
+        "\ncompleted {} / {} submitted requests in {elapsed:.3} s",
+        snap.completed, snap.submitted
+    );
+    println!(
+        "throughput: {throughput:.0} req/s  ({:.3} Gflop/s equivalent)",
+        throughput * flops_per_request / 1e9
+    );
+    println!(
+        "coalescing: {} batches, mean width {:.2}, {} of {} requests shared a dispatch",
+        snap.batches, snap.mean_batch, snap.coalesced, snap.completed
+    );
+    let hist: Vec<String> = snap
+        .batch_hist
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(i, n)| format!("{}x{n}", i + 1))
+        .collect();
+    println!("batch widths (width x count): {}", hist.join("  "));
+    println!(
+        "latency: p50 {:.1} us  p95 {:.1} us  p99 {:.1} us  max {:.1} us  ({} shed)",
+        snap.p50.as_secs_f64() * 1e6,
+        snap.p95.as_secs_f64() * 1e6,
+        snap.p99.as_secs_f64() * 1e6,
+        snap.max_latency.as_secs_f64() * 1e6,
+        snap.shed
+    );
+
+    if o.smoke {
+        // One solve request rides the same server: the non-coalescible
+        // path and the preconditioner hookup get covered too.
+        let b = operand(o.n, o.seed, 0, usize::MAX / 2);
+        let solve = server
+            .submit_solve(
+                tenants[0],
+                matrix,
+                b,
+                SolverOptions {
+                    tol: 1e-8,
+                    max_iters: 500,
+                },
+            )
+            .expect("solve submit");
+        let solve_ok = match solve.wait() {
+            Ok(Reply::Solve { outcome, .. }) => outcome.converged,
+            _ => false,
+        };
+
+        let snap = server.stats();
+        let mut failures = Vec::new();
+        if mismatches > 0 {
+            failures.push(format!(
+                "{mismatches} replies disagreed with the serial reference"
+            ));
+        }
+        if snap.completed != snap.submitted {
+            failures.push(format!(
+                "{} submitted vs {} completed",
+                snap.submitted, snap.completed
+            ));
+        }
+        if snap.completed != total_requests as u64 + 1 {
+            failures.push(format!(
+                "expected {} completions, saw {}",
+                total_requests + 1,
+                snap.completed
+            ));
+        }
+        if !solve_ok {
+            failures.push("solve request did not converge".to_string());
+        }
+        if snap.shed != 0 {
+            failures.push(format!("{} requests shed under a sized trace", snap.shed));
+        }
+        if failures.is_empty() {
+            println!("\ntraffic --smoke: ok");
+        } else {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            eprintln!("\ntraffic --smoke: FAILED");
+            std::process::exit(1);
+        }
+    }
+}

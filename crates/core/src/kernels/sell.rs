@@ -170,15 +170,29 @@ impl SellKernel {
             let mut t0 = 0;
             while t0 < k {
                 let tl = (k - t0).min(SPMM_COL_TILE);
-                let mut acc = [0.0f64; SPMM_COL_TILE];
-                for j in 0..len {
-                    let e = j * SELL_C + r;
-                    let v = vals[e];
-                    let base = cols[e] as usize * k + t0;
-                    for (a, &xv) in acc[..tl].iter_mut().zip(&xs[base..base + tl]) {
-                        *a += v * xv;
+                let acc = match self.kernel {
+                    #[cfg(target_arch = "x86_64")]
+                    ChunkKernel::Avx2 if tl == SPMM_COL_TILE => {
+                        // No width gate here: unlike the single-vector
+                        // microkernel this path loads `x` rows contiguously
+                        // (no gather to amortize), so it wins at any lane
+                        // length. SAFETY: AVX2 verified at construction; a
+                        // full tile keeps every load inside the `n·k` block.
+                        unsafe { lane_tile8_avx2(cols, vals, xs, r, len, t0, k) }
                     }
-                }
+                    _ => {
+                        let mut a = [0.0f64; SPMM_COL_TILE];
+                        for j in 0..len {
+                            let e = j * SELL_C + r;
+                            let v = vals[e];
+                            let base = cols[e] as usize * k + t0;
+                            for (s, &xv) in a[..tl].iter_mut().zip(&xs[base..base + tl]) {
+                                *s += v * xv;
+                            }
+                        }
+                        a
+                    }
+                };
                 for (t, &a) in acc[..tl].iter().enumerate() {
                     // SAFETY: forwarded from the caller's contract.
                     unsafe { yp.write(out + t0 + t, a) };
@@ -280,7 +294,7 @@ impl SparseLinOp for SellKernel {
 /// Requires AVX2. `cols`/`vals` must hold at least `full · SELL_C` slots and
 /// every column index must be in bounds of `x`.
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
+#[target_feature(enable = "avx2,fma")]
 unsafe fn chunk_lanes_avx2(
     cols: &[u32],
     vals: &[f64],
@@ -305,6 +319,47 @@ unsafe fn chunk_lanes_avx2(
         }
         _mm256_storeu_pd(acc.as_mut_ptr(), a0);
         _mm256_storeu_pd(acc.as_mut_ptr().add(4), a1);
+    }
+}
+
+/// AVX2 full column tile of one SELL lane's multi-vector pass: the lane's
+/// slot stream is strided (`j·C + r`), but each nonzero's `x` row slice is
+/// contiguous — two 256-bit loads and two FMAs per element, no gather.
+/// Per lane the accumulation order matches the scalar tile; the FMA
+/// contraction means agreement to rounding, not bit for bit.
+///
+/// # Safety
+/// Requires AVX2; `t0 + SPMM_COL_TILE <= k`, lane `r < SELL_C` with `len`
+/// stored slots, and all column indices in bounds of the `n·k` block
+/// (SellMatrix construction invariants).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn lane_tile8_avx2(
+    cols: &[u32],
+    vals: &[f64],
+    xs: &[f64],
+    r: usize,
+    len: usize,
+    t0: usize,
+    k: usize,
+) -> [f64; SPMM_COL_TILE] {
+    use core::arch::x86_64::*;
+    unsafe {
+        let mut a0 = _mm256_setzero_pd();
+        let mut a1 = _mm256_setzero_pd();
+        for j in 0..len {
+            let e = j * SELL_C + r;
+            let base = cols[e] as usize * k + t0;
+            let vv = _mm256_set1_pd(vals[e]);
+            let x0 = _mm256_loadu_pd(xs.as_ptr().add(base));
+            let x1 = _mm256_loadu_pd(xs.as_ptr().add(base + 4));
+            a0 = _mm256_fmadd_pd(vv, x0, a0);
+            a1 = _mm256_fmadd_pd(vv, x1, a1);
+        }
+        let mut out = [0.0f64; SPMM_COL_TILE];
+        _mm256_storeu_pd(out.as_mut_ptr(), a0);
+        _mm256_storeu_pd(out.as_mut_ptr().add(4), a1);
+        out
     }
 }
 

@@ -93,6 +93,122 @@ impl MultiVec {
         (0..self.nrows).map(|i| self.data[i * self.k + j]).collect()
     }
 
+    /// Gathers `k` independent column vectors into one row-major block —
+    /// the coalescing entry point of the serving layer, which folds many
+    /// same-matrix `y = A·x` requests into a single SpMM application so the
+    /// matrix bytes stream once for all of them.
+    ///
+    /// Walks the output row-major (unit-stride writes); each source column
+    /// is read at stride 1 within its own slice.
+    ///
+    /// ```
+    /// use sparseopt_core::MultiVec;
+    ///
+    /// let a = vec![1.0, 2.0];
+    /// let b = vec![3.0, 4.0];
+    /// let x = MultiVec::gather_columns(&[&a, &b]);
+    /// assert_eq!(x.row(0), &[1.0, 3.0]);
+    /// assert_eq!(x.row(1), &[2.0, 4.0]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on zero columns or ragged lengths.
+    pub fn gather_columns(cols: &[&[f64]]) -> Self {
+        assert!(!cols.is_empty(), "MultiVec needs at least one column");
+        let nrows = cols[0].len();
+        assert!(
+            cols.iter().all(|c| c.len() == nrows),
+            "all columns must have equal length"
+        );
+        let k = cols.len();
+        let mut data = vec![0.0; nrows * k];
+        for (i, row) in data.chunks_exact_mut(k).enumerate() {
+            for (dst, col) in row.iter_mut().zip(cols) {
+                *dst = col[i];
+            }
+        }
+        Self { nrows, k, data }
+    }
+
+    /// Gathers `k` column vectors into this block, reshaping it as needed
+    /// — the in-place form of [`MultiVec::gather_columns`] for callers
+    /// that reuse one scratch block across many batches (a dispatch worker
+    /// coalescing request after request must not pay an allocation and a
+    /// page-fault walk per batch).
+    ///
+    /// # Panics
+    /// Panics on zero columns or ragged lengths.
+    pub fn gather_columns_into(&mut self, cols: &[&[f64]]) {
+        assert!(!cols.is_empty(), "MultiVec needs at least one column");
+        let nrows = cols[0].len();
+        assert!(
+            cols.iter().all(|c| c.len() == nrows),
+            "all columns must have equal length"
+        );
+        let k = cols.len();
+        self.nrows = nrows;
+        self.k = k;
+        self.data.resize(nrows * k, 0.0);
+        #[cfg(target_arch = "x86_64")]
+        if k == 8 && crate::util::simd_available() {
+            // SAFETY: AVX2 verified; lengths verified above.
+            unsafe { gather8_avx2(cols, &mut self.data, nrows) };
+            return;
+        }
+        for (i, row) in self.data.chunks_exact_mut(k).enumerate() {
+            for (dst, col) in row.iter_mut().zip(cols) {
+                *dst = col[i];
+            }
+        }
+    }
+
+    /// Reshapes to `nrows x k`, reusing the existing allocation where it
+    /// suffices, and zero-fills — the scratch-output companion of
+    /// [`MultiVec::gather_columns_into`].
+    pub fn reset_zeroed(&mut self, nrows: usize, k: usize) {
+        assert!(k > 0, "MultiVec needs at least one column");
+        self.nrows = nrows;
+        self.k = k;
+        self.data.clear();
+        self.data.resize(nrows * k, 0.0);
+    }
+
+    /// Scatters column `j` into a caller-provided buffer (the per-request
+    /// response half of a coalesced batch).
+    ///
+    /// # Panics
+    /// Panics on column index or length mismatch.
+    pub fn scatter_column_into(&self, j: usize, out: &mut [f64]) {
+        assert!(j < self.k, "column {j} out of bounds (k = {})", self.k);
+        assert_eq!(out.len(), self.nrows, "output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.data[i * self.k + j];
+        }
+    }
+
+    /// Scatters every column into its own buffer, walking the block
+    /// row-major once (unit-stride reads) instead of once per column.
+    ///
+    /// # Panics
+    /// Panics unless exactly `k` buffers of `nrows` length are supplied.
+    pub fn scatter_columns_into(&self, outs: &mut [&mut [f64]]) {
+        assert_eq!(outs.len(), self.k, "need one output buffer per column");
+        for out in outs.iter() {
+            assert_eq!(out.len(), self.nrows, "output length mismatch");
+        }
+        #[cfg(target_arch = "x86_64")]
+        if self.k == 8 && crate::util::simd_available() {
+            // SAFETY: AVX2 verified; lengths verified above.
+            unsafe { scatter8_avx2(&self.data, outs, self.nrows) };
+            return;
+        }
+        for (i, row) in self.data.chunks_exact(self.k).enumerate() {
+            for (out, &v) in outs.iter_mut().zip(row) {
+                out[i] = v;
+            }
+        }
+    }
+
     /// Writes a contiguous vector into column `j` (strided write).
     ///
     /// # Panics
@@ -139,6 +255,111 @@ impl MultiVec {
     }
 }
 
+/// Transposes four 4-element column vectors `[c0 c1 c2 c3]` (each a
+/// `__m256d` holding rows `i..i+4` of one column) into four row vectors
+/// `[r_i r_{i+1} r_{i+2} r_{i+3}]` — the classic AVX unpack/permute 4×4
+/// double transpose.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn transpose4x4(v: [core::arch::x86_64::__m256d; 4]) -> [core::arch::x86_64::__m256d; 4] {
+    use core::arch::x86_64::*;
+    unsafe {
+        let t0 = _mm256_unpacklo_pd(v[0], v[1]);
+        let t1 = _mm256_unpackhi_pd(v[0], v[1]);
+        let t2 = _mm256_unpacklo_pd(v[2], v[3]);
+        let t3 = _mm256_unpackhi_pd(v[2], v[3]);
+        [
+            _mm256_permute2f128_pd(t0, t2, 0x20),
+            _mm256_permute2f128_pd(t1, t3, 0x20),
+            _mm256_permute2f128_pd(t0, t2, 0x31),
+            _mm256_permute2f128_pd(t1, t3, 0x31),
+        ]
+    }
+}
+
+/// Interleaves eight equal-length columns into a row-major `nrows × 8`
+/// block four rows at a time: load 4 consecutive elements from each
+/// column, transpose each 4-column half in registers, store four complete
+/// 8-wide rows. Turns the strided scalar writes of the gather into pure
+/// unit-stride vector loads/stores — this runs once per coalesced batch
+/// in the serving layer, in series with the SpMM itself.
+///
+/// # Safety
+/// Requires AVX2; `cols` must hold exactly 8 slices of length `nrows`,
+/// and `data` must have length `nrows * 8`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather8_avx2(cols: &[&[f64]], data: &mut [f64], nrows: usize) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(cols.len(), 8);
+    debug_assert_eq!(data.len(), nrows * 8);
+    let main = nrows & !3;
+    let dst = data.as_mut_ptr();
+    unsafe {
+        let mut i = 0;
+        while i < main {
+            for half in 0..2 {
+                let v = [
+                    _mm256_loadu_pd(cols[4 * half].as_ptr().add(i)),
+                    _mm256_loadu_pd(cols[4 * half + 1].as_ptr().add(i)),
+                    _mm256_loadu_pd(cols[4 * half + 2].as_ptr().add(i)),
+                    _mm256_loadu_pd(cols[4 * half + 3].as_ptr().add(i)),
+                ];
+                let r = transpose4x4(v);
+                for (dr, row) in r.iter().enumerate() {
+                    _mm256_storeu_pd(dst.add((i + dr) * 8 + 4 * half), *row);
+                }
+            }
+            i += 4;
+        }
+        for i in main..nrows {
+            for (j, col) in cols.iter().enumerate() {
+                *dst.add(i * 8 + j) = col[i];
+            }
+        }
+    }
+}
+
+/// The inverse of [`gather8_avx2`]: de-interleaves a row-major
+/// `nrows × 8` block into eight contiguous column buffers, four rows at
+/// a time via the in-register 4×4 transpose.
+///
+/// # Safety
+/// Requires AVX2; `outs` must hold exactly 8 buffers of length `nrows`,
+/// and `data` must have length `nrows * 8`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scatter8_avx2(data: &[f64], outs: &mut [&mut [f64]], nrows: usize) {
+    use core::arch::x86_64::*;
+    debug_assert_eq!(outs.len(), 8);
+    debug_assert_eq!(data.len(), nrows * 8);
+    let main = nrows & !3;
+    let src = data.as_ptr();
+    unsafe {
+        let mut i = 0;
+        while i < main {
+            for half in 0..2 {
+                let v = [
+                    _mm256_loadu_pd(src.add(i * 8 + 4 * half)),
+                    _mm256_loadu_pd(src.add((i + 1) * 8 + 4 * half)),
+                    _mm256_loadu_pd(src.add((i + 2) * 8 + 4 * half)),
+                    _mm256_loadu_pd(src.add((i + 3) * 8 + 4 * half)),
+                ];
+                let c = transpose4x4(v);
+                for (dj, col) in c.iter().enumerate() {
+                    _mm256_storeu_pd(outs[4 * half + dj].as_mut_ptr().add(i), *col);
+                }
+            }
+            i += 4;
+        }
+        for i in main..nrows {
+            for (j, out) in outs.iter_mut().enumerate() {
+                out[i] = *src.add(i * 8 + j);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +395,71 @@ mod tests {
     #[should_panic(expected = "at least one column")]
     fn zero_width_rejected() {
         MultiVec::zeros(4, 0);
+    }
+
+    #[test]
+    fn gather_matches_from_columns() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ];
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(
+            MultiVec::gather_columns(&refs),
+            MultiVec::from_columns(&cols)
+        );
+    }
+
+    #[test]
+    fn scatter_round_trips_gather() {
+        let cols = vec![vec![1.0, -2.0], vec![0.5, 4.0], vec![9.0, 0.0]];
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let v = MultiVec::gather_columns(&refs);
+
+        let mut single = vec![0.0; 2];
+        v.scatter_column_into(1, &mut single);
+        assert_eq!(single, cols[1]);
+
+        let mut bufs = vec![vec![0.0; 2]; 3];
+        let mut outs: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        v.scatter_columns_into(&mut outs);
+        assert_eq!(bufs, cols);
+    }
+
+    #[test]
+    fn wide_gather_scatter_round_trip() {
+        // k = 8 takes the AVX2 transpose fast path where available; an odd
+        // row count exercises the scalar remainder rows too.
+        for nrows in [1usize, 4, 7, 13] {
+            let cols: Vec<Vec<f64>> = (0..8)
+                .map(|j| (0..nrows).map(|i| (i * 8 + j) as f64).collect())
+                .collect();
+            let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+            let mut v = MultiVec::zeros(1, 1);
+            v.gather_columns_into(&refs);
+            assert_eq!(v, MultiVec::from_columns(&cols), "nrows={nrows}");
+
+            let mut bufs = vec![vec![0.0; nrows]; 8];
+            let mut outs: Vec<&mut [f64]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            v.scatter_columns_into(&mut outs);
+            assert_eq!(bufs, cols, "nrows={nrows}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn gather_rejects_ragged_columns() {
+        MultiVec::gather_columns(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output buffer per column")]
+    fn scatter_rejects_wrong_buffer_count() {
+        let v = MultiVec::zeros(2, 3);
+        let mut a = [0.0; 2];
+        let mut b = [0.0; 2];
+        v.scatter_columns_into(&mut [&mut a, &mut b]);
     }
 
     #[test]

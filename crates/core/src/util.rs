@@ -69,7 +69,13 @@ pub fn prefetch_read<T>(ptr: *const T) {
     }
 }
 
-/// Returns true when AVX2 gather-based SIMD kernels can run on this host.
+/// Returns true when the AVX2+FMA SIMD kernels can run on this host.
+///
+/// Both features are required: every vectorized microkernel in the family
+/// issues `_mm256_fmadd_pd`, and compiling that intrinsic inside a
+/// function whose `#[target_feature]` set lacks `fma` silently legalizes
+/// it into a slow non-fused fallback — the features must travel together
+/// at the detection site and on the `#[target_feature]` attributes.
 ///
 /// The answer is detected once and cached in a process-wide `OnceLock`, so
 /// the remaining callers on hot paths pay a single relaxed load — kernels
@@ -83,6 +89,7 @@ pub fn simd_available() -> bool {
         #[cfg(target_arch = "x86_64")]
         {
             std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
         }
         #[cfg(not(target_arch = "x86_64"))]
         {

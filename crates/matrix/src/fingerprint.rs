@@ -23,6 +23,25 @@
 //! grids absorb last-bit float jitter. It also makes the key *collision
 //! seeking* by design — nearby structures sharing a bucket is the feature
 //! that lets a second matrix skip straight to the tuned plan.
+//!
+//! ```
+//! use sparseopt_core::prelude::*;
+//! use sparseopt_matrix::MatrixFingerprint;
+//!
+//! // The same structure assembled in a different nonzero order — a
+//! // permuted COO stream — quantizes to the identical key.
+//! let mut fwd = CooMatrix::new(4, 4);
+//! let mut rev = CooMatrix::new(4, 4);
+//! for i in 0..4 {
+//!     fwd.push(i, i, 2.0);
+//!     rev.push(3 - i, 3 - i, 2.0);
+//! }
+//! let llc = 1 << 20;
+//! let a = MatrixFingerprint::extract(&CsrMatrix::from_coo(&fwd), llc);
+//! let b = MatrixFingerprint::extract(&CsrMatrix::from_coo(&rev), llc);
+//! assert_eq!(a.key(), b.key());
+//! assert!(a.key().starts_with("v1:"));
+//! ```
 
 use crate::features::MatrixFeatures;
 use sparseopt_core::csr::CsrMatrix;

@@ -20,6 +20,32 @@
 //! The vendored `serde` is a no-op marker stand-in (see `vendor/README.md`),
 //! so serialization is hand-rolled in the same line-oriented style as
 //! `ci_bench`'s trajectory files — one entry per line, strict parsing.
+//!
+//! ```
+//! use sparseopt_optimizer::plan_cache::{MeasuredCosts, PlanCache, PlanCacheEntry};
+//! use sparseopt_optimizer::Optimization;
+//! use sparseopt_core::prelude::InnerLoop;
+//!
+//! let mut cache = PlanCache::in_memory();
+//! assert!(!cache.contains("v1:r11:z13:a8:d0:s0:p0"));
+//! cache.insert(PlanCacheEntry {
+//!     fingerprint: "v1:r11:z13:a8:d0:s0:p0".into(),
+//!     optimizations: vec![Optimization::Vectorize],
+//!     inner: InnerLoop::Simd,
+//!     decompose_threshold: None,
+//!     measured: MeasuredCosts {
+//!         setup_spmv: 2.0,
+//!         apply_secs: 1.0e-4,
+//!         baseline_secs: 2.0e-4,
+//!         gflops: 4.0,
+//!     },
+//! });
+//! // A warm consumer replays the measured winner without re-tuning.
+//! let entry = cache.get("v1:r11:z13:a8:d0:s0:p0").unwrap();
+//! assert!(cache.contains("v1:r11:z13:a8:d0:s0:p0"));
+//! assert_eq!(entry.to_plan().label(), "vectorize");
+//! assert_eq!(entry.measured.gflops, 4.0);
+//! ```
 
 use crate::pool::{Optimization, OptimizationPlan};
 use sparseopt_core::prelude::InnerLoop;
@@ -149,13 +175,20 @@ impl PlanCache {
         self.entries.get(fingerprint)
     }
 
+    /// True when a winner is cached under this fingerprint key — the warm
+    /// side of a serving-layer registration, checked without rebuilding the
+    /// plan.
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.entries.contains_key(fingerprint)
+    }
+
     /// Inserts (or replaces) a winner and persists when a path is set.
     /// Persistence failures degrade to a stderr warning — a read-only cache
     /// directory must not take down the serving path.
     pub fn insert(&mut self, entry: PlanCacheEntry) {
         self.entries.insert(entry.fingerprint.clone(), entry);
         if let Err(e) = self.save() {
-            eprintln!("warning: plan cache not persisted: {e}");
+            self.warn_not_persisted(&e);
         }
     }
 
@@ -175,8 +208,22 @@ impl PlanCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         if let Err(e) = self.save() {
-            eprintln!("warning: plan cache not persisted: {e}");
+            self.warn_not_persisted(&e);
         }
+    }
+
+    /// Persistence-failure warning, always naming the offending path: a
+    /// bare "not persisted" leaves the resulting cold start on the next run
+    /// undiagnosable (which file was it trying to write?).
+    fn warn_not_persisted(&self, e: &std::io::Error) {
+        let shown = self
+            .path
+            .as_deref()
+            .unwrap_or_else(|| Path::new("<in-memory>"));
+        eprintln!(
+            "warning: plan cache {}: not persisted ({e}); the next process will tune cold",
+            shown.display()
+        );
     }
 
     /// The backing file, when persistent.

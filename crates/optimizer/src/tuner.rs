@@ -25,6 +25,29 @@
 //! ([`TunedKernel::amortization_iters`]) instead of the fixed per-plan
 //! charges; the fixed charges remain the cold-start fallback
 //! ([`crate::amortization::plan_setup_cost_spmv`]).
+//!
+//! ```
+//! use sparseopt_classifier::SimBoundsProfiler;
+//! use sparseopt_core::prelude::*;
+//! use sparseopt_matrix::generators;
+//! use sparseopt_optimizer::{PlanTuner, TuneBudget, TuneOutcome};
+//! use sparseopt_sim::Platform;
+//! use std::sync::Arc;
+//!
+//! let csr = Arc::new(CsrMatrix::from_coo(&generators::banded(600, 2)));
+//! let tuner = PlanTuner::new(ExecCtx::new(1)).with_budget(TuneBudget::minimal());
+//! let profiler = SimBoundsProfiler::new(Platform::broadwell());
+//!
+//! // Cold: classifier guess, measured against the baseline, then cached.
+//! let cold = tuner.optimize_profiled(&csr, &profiler);
+//! assert_ne!(cold.outcome, TuneOutcome::CacheHit);
+//!
+//! // Warm: the same structural fingerprint replays the cached winner —
+//! // zero classifier calls, zero timed trials.
+//! let warm = tuner.optimize_profiled(&csr, &profiler);
+//! assert_eq!(warm.outcome, TuneOutcome::CacheHit);
+//! assert_eq!(tuner.stats().hits, 1);
+//! ```
 
 use crate::amortization::amortization_iters;
 use crate::plan_cache::{MeasuredCosts, PlanCache, PlanCacheEntry};

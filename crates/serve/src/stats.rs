@@ -1,0 +1,286 @@
+//! The lock-free serving statistics registry.
+//!
+//! Every counter in here is an atomic touched on the request hot path, so
+//! the registry imposes no lock and no allocation on submit or completion.
+//! Distributions (latency, coalesced batch width) are kept as fixed arrays
+//! of atomic buckets:
+//!
+//! - **Latency** uses logarithmic (power-of-two nanosecond) buckets.
+//!   Percentiles read back the geometric midpoint of the bucket that
+//!   crosses the requested rank, so a reported p99 is exact to within one
+//!   octave — the right resolution for a tail-latency gate that compares
+//!   against a ≥15% drift tolerance anyway.
+//! - **Batch width** uses one bucket per width up to [`MAX_TRACKED_BATCH`],
+//!   with everything wider folded into the last bucket. The mean effective
+//!   width is exact (it is computed from total requests over total
+//!   batches), only the histogram tail saturates.
+//!
+//! Snapshots ([`StatsSnapshot`]) are value copies: cheap, consistent enough
+//! for reporting (each counter is read once, relaxed), and serializable by
+//! the traffic generator without holding anything.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Widths `1..=MAX_TRACKED_BATCH` get their own histogram bucket; wider
+/// batches count into the last one.
+pub const MAX_TRACKED_BATCH: usize = 32;
+
+/// Number of power-of-two latency buckets: bucket `i` holds durations with
+/// bit length `i` nanoseconds, so 64 covers every representable `u64`.
+const LAT_BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed duration histogram.
+///
+/// ```
+/// use sparseopt_serve::stats::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let h = LatencyHistogram::new();
+/// for us in 1..=100u64 {
+///     h.record(Duration::from_micros(us));
+/// }
+/// let p50 = h.percentile(0.50);
+/// let p99 = h.percentile(0.99);
+/// assert!(p50 <= p99);
+/// // Log-bucket resolution: the true p50 (50µs) is reported within one
+/// // octave.
+/// assert!(p50 >= Duration::from_micros(25) && p50 <= Duration::from_micros(100));
+/// ```
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LAT_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration (lock-free; relaxed atomics).
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (u64::BITS - ns.leading_zeros()).min(LAT_BUCKETS as u32 - 1) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the geometric midpoint of the
+    /// bucket containing that rank; zero when nothing was recorded.
+    pub fn percentile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds ns in [2^(i-1), 2^i); its geometric
+                // midpoint is 2^(i-1) * sqrt(2). Bucket 0 is exactly 0 ns.
+                if i == 0 {
+                    return Duration::ZERO;
+                }
+                let lo = 1u64 << (i - 1);
+                let mid = (lo as f64 * std::f64::consts::SQRT_2).round() as u64;
+                // Never report beyond the observed maximum (tight for the
+                // top bucket, which is half-open).
+                return Duration::from_nanos(mid.min(self.max_ns.load(Ordering::Relaxed)));
+            }
+        }
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// Largest recorded duration.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// The server-wide registry. One instance per [`crate::SpmvServer`];
+/// everything is monotonic over the server's lifetime.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Requests accepted into a queue.
+    pub(crate) submitted: AtomicU64,
+    /// Requests completed (successfully fulfilled tickets).
+    pub(crate) completed: AtomicU64,
+    /// Requests rejected by per-tenant load shedding.
+    pub(crate) shed: AtomicU64,
+    /// Kernel dispatches (one per coalesced batch / lone request).
+    pub(crate) batches: AtomicU64,
+    /// Requests that shared their dispatch with at least one other request.
+    pub(crate) coalesced: AtomicU64,
+    /// Batch-width histogram (bucket k-1 = batches of width k, saturating).
+    pub(crate) batch_hist: [AtomicU64; MAX_TRACKED_BATCH],
+    /// Submit→completion latency distribution.
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    pub(crate) fn record_batch(&self, width: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if width > 1 {
+            self.coalesced.fetch_add(width as u64, Ordering::Relaxed);
+        }
+        let idx = width.clamp(1, MAX_TRACKED_BATCH) - 1;
+        self.batch_hist[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completion(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// A consistent-enough value copy for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            batches,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
+            batch_hist: self
+                .batch_hist
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            p50: self.latency.percentile(0.50),
+            p95: self.latency.percentile(0.95),
+            p99: self.latency.percentile(0.99),
+            mean_latency: self.latency.mean(),
+            max_latency: self.latency.max(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServeStats`].
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Requests fulfilled.
+    pub completed: u64,
+    /// Requests rejected by load shedding.
+    pub shed: u64,
+    /// Kernel dispatches.
+    pub batches: u64,
+    /// Requests that rode a batch of width ≥ 2.
+    pub coalesced: u64,
+    /// Mean effective batch width (completed / batches) — the `k` of the
+    /// cross-request reuse argument.
+    pub mean_batch: f64,
+    /// Batches by width: `batch_hist[i]` dispatched `i + 1` requests
+    /// (last bucket saturates at [`MAX_TRACKED_BATCH`]).
+    pub batch_hist: Vec<u64>,
+    /// Median submit→completion latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency — the traffic generator's gated tail.
+    pub p99: Duration,
+    /// Mean latency.
+    pub mean_latency: Duration,
+    /// Worst observed latency.
+    pub max_latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered_and_octave_accurate() {
+        let h = LatencyHistogram::new();
+        // Deterministic trace: 1..=1000 µs, uniformly.
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p95, p99) = (h.percentile(0.5), h.percentile(0.95), h.percentile(0.99));
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        // True quantiles are 500/950/990 µs; log buckets are exact to one
+        // octave on either side.
+        assert!(p50 >= Duration::from_micros(250) && p50 <= Duration::from_micros(1000));
+        assert!(p99 >= Duration::from_micros(495));
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        let mean = h.mean();
+        assert!(mean >= Duration::from_micros(400) && mean <= Duration::from_micros(600));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn batch_histogram_folds_wide_batches() {
+        let s = ServeStats::default();
+        s.record_batch(1);
+        s.record_batch(4);
+        s.record_batch(4);
+        s.record_batch(1000); // saturates into the last bucket
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.batch_hist[0], 1);
+        assert_eq!(snap.batch_hist[3], 2);
+        assert_eq!(snap.batch_hist[MAX_TRACKED_BATCH - 1], 1);
+        // 4 + 4 + 1000 coalesced requests (the lone one doesn't count).
+        assert_eq!(snap.coalesced, 1008);
+    }
+
+    #[test]
+    fn mean_batch_is_completed_over_batches() {
+        let s = ServeStats::default();
+        for _ in 0..8 {
+            s.record_completion(Duration::from_micros(10));
+        }
+        s.record_batch(4);
+        s.record_batch(4);
+        let snap = s.snapshot();
+        assert!((snap.mean_batch - 4.0).abs() < 1e-12);
+        assert_eq!(snap.completed, 8);
+        assert!(snap.p50 > Duration::ZERO);
+    }
+}

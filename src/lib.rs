@@ -16,6 +16,10 @@
 //! | [`classifier`] | `sparseopt-classifier` | bottleneck classes, per-class bounds, profile-/feature-guided classifiers |
 //! | [`optimizer`] | `sparseopt-optimizer` | Table II optimization pool, adaptive/trivial/oracle optimizers, amortization |
 //! | [`solver`] | `sparseopt-solver` | CG, BiCGSTAB, BiCG, GMRES(m), LSQR/CGNR least squares, block CG / batched BiCGSTAB over the multi-vector path, Jacobi / symmetric Gauss-Seidel / IC(0) / ILU(0) preconditioning |
+//! | [`serve`] | `sparseopt-serve` | multi-tenant serving layer: tuned matrix registration, request coalescing into SpMM batches, per-tenant load shedding, latency/throughput stats |
+//!
+//! The crate-by-crate architecture, including how a serving request flows
+//! through the stack, is documented in `docs/ARCHITECTURE.md`.
 //!
 //! ## Quick start
 //!
@@ -44,6 +48,7 @@ pub use sparseopt_core as core;
 pub use sparseopt_matrix as matrix;
 pub use sparseopt_ml as ml;
 pub use sparseopt_optimizer as optimizer;
+pub use sparseopt_serve as serve;
 pub use sparseopt_sim as sim;
 pub use sparseopt_solver as solver;
 
@@ -59,6 +64,7 @@ pub mod prelude {
         AdaptiveOptimizer, OpRequirements, Optimization, OptimizationPlan, PlanCache, PlanTuner,
         SimOptimizerStudy, TuneBudget, TuneOutcome, TunedKernel,
     };
+    pub use sparseopt_serve::{Reply, ServeConfig, ServeError, SpmvServer, StatsSnapshot, Ticket};
     pub use sparseopt_sim::Platform;
     pub use sparseopt_solver::{
         bicg, bicgstab, bicgstab_multi, block_cg, cg, cgnr, gmres, ic0, ilu0, lsqr,

@@ -1,0 +1,344 @@
+//! Integration tests for the multi-tenant serving layer (`sparseopt-serve`):
+//! a coalesced batch must answer exactly what `k` independently served
+//! requests would have answered, load shedding must engage at the tenant's
+//! in-flight bound without touching other tenants, and the stats surface
+//! must report sane percentiles and batch widths.
+//!
+//! Numerical note: the coalesced path runs the SpMM register tile, whose
+//! AVX2 variant contracts multiply+add into FMA. Results therefore agree
+//! with the scalar single-vector path to rounding (~1e-12 relative), not
+//! bit for bit — every equivalence here is a relative-tolerance check, the
+//! same contract `traffic --smoke` and the ci_bench gate rely on.
+
+use proptest::prelude::*;
+use sparseopt::prelude::*;
+use sparseopt::serve::{PlanCache, Reply, ServeConfig, ServeError, SpmvServer, TuneBudget};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Relative tolerance for serial-vs-coalesced agreement (FMA contraction).
+const RTOL: f64 = 1e-12;
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= RTOL * (1.0 + y.abs()))
+}
+
+/// Dense reference `y = A·x` from raw triplets, independent of every
+/// sparse format and schedule under test.
+fn dense_spmv(nrows: usize, entries: &[(usize, usize, f64)], x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; nrows];
+    for &(r, c, v) in entries {
+        y[r] += v * x[c];
+    }
+    y
+}
+
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> Arc<CsrMatrix> {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    Arc::new(CsrMatrix::from_coo(&coo))
+}
+
+/// A server configured to coalesce aggressively: long batching window, so
+/// a backlog submitted ahead of the worker reliably folds into one batch.
+fn coalescing_server(max_batch: usize) -> SpmvServer {
+    SpmvServer::new(
+        ExecCtx::host(),
+        ServeConfig {
+            workers: 1,
+            batch_window: Duration::from_millis(50),
+            max_batch,
+            tenant_capacity: 1024,
+            tune_budget: TuneBudget::minimal(),
+        },
+    )
+}
+
+/// A generated serving case: matrix order, COO entries, and `k` operands.
+type ServingCase = (usize, Vec<(usize, usize, f64)>, Vec<Vec<f64>>);
+
+/// Strategy: a random square matrix (possibly with empty rows and
+/// duplicate entries — the CSR builder folds those) plus `k` random
+/// operand vectors.
+fn matrix_and_operands() -> impl Strategy<Value = ServingCase> {
+    (2usize..40, 1usize..12).prop_flat_map(|(n, k)| {
+        let entry = (0..n, 0..n, -4.0f64..4.0);
+        let entries = proptest::collection::vec(entry, 0..n * 6);
+        let op = proptest::collection::vec(-2.0f64..2.0, n..=n);
+        let ops = proptest::collection::vec(op, k..=k);
+        (Just(n), entries, ops)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// THE serving contract: a backlog of same-matrix requests answered
+    /// through the coalescing dispatcher equals `k` independent dense
+    /// references, request by request, to rounding.
+    #[test]
+    fn coalesced_batch_matches_independent_spmvs(
+        (n, entries, ops) in matrix_and_operands()
+    ) {
+        let server = coalescing_server(8);
+        let tenant = server.register_tenant("prop");
+        let matrix = server.register_matrix("m", build(n, &entries));
+        // Open loop: submit the whole backlog, then collect. However the
+        // window slices it into batches (full, partial, or width 1), every
+        // reply must match its own request's reference.
+        let tickets: Vec<_> = ops
+            .iter()
+            .map(|x| server.submit(tenant, matrix, x.clone()).unwrap())
+            .collect();
+        for (x, t) in ops.iter().zip(tickets) {
+            let want = dense_spmv(n, &entries, x);
+            match t.wait().unwrap() {
+                Reply::Vector(y) => prop_assert!(
+                    close(&y, &want),
+                    "coalesced reply diverged from dense reference"
+                ),
+                other => prop_assert!(false, "expected Reply::Vector, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// With a backlog submitted before the worker can drain it, the window
+/// must actually fold requests: the stats readout shows multi-request
+/// batches and a nonzero coalesced count.
+#[test]
+fn backlog_coalesces_into_wide_batches() {
+    let n = 64;
+    let entries: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0 + i as f64)).collect();
+    let server = coalescing_server(4);
+    let tenant = server.register_tenant("t");
+    let matrix = server.register_matrix("m", build(n, &entries));
+    let x = vec![1.0; n];
+    // 12 requests, max_batch 4 → at least one full-width batch is
+    // guaranteed: the 50ms window holds the first batch open until four
+    // requests are queued, and the submit loop finishes in microseconds.
+    let tickets: Vec<_> = (0..12)
+        .map(|_| server.submit(tenant, matrix, x.clone()).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let snap = server.stats();
+    assert_eq!(snap.completed, 12);
+    assert!(
+        snap.coalesced > 0,
+        "no request was coalesced: batches={} hist={:?}",
+        snap.batches,
+        snap.batch_hist
+    );
+    // `batch_hist[i]` counts batches of width `i + 1`.
+    assert!(
+        snap.batch_hist[3] > 0 || snap.mean_batch > 1.0,
+        "expected multi-request batches, hist={:?}",
+        snap.batch_hist
+    );
+}
+
+/// Load shedding: the tenant's bounded in-flight budget rejects the
+/// overflow request with `Overloaded` instead of queueing it, and the
+/// queue drains normally afterwards.
+#[test]
+fn load_shed_at_tenant_capacity() {
+    let n = 32;
+    let entries: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 2.0)).collect();
+    let server = SpmvServer::new(
+        ExecCtx::host(),
+        ServeConfig {
+            workers: 1,
+            // Long window + wide batch: the first submits sit in the open
+            // window, keeping in-flight pinned while we probe the bound.
+            batch_window: Duration::from_millis(200),
+            max_batch: 8,
+            tenant_capacity: 2,
+            tune_budget: TuneBudget::minimal(),
+        },
+    );
+    let tenant = server.register_tenant("bounded");
+    let matrix = server.register_matrix("m", build(n, &entries));
+    let x = vec![1.0; n];
+    let t1 = server.submit(tenant, matrix, x.clone()).unwrap();
+    let t2 = server.submit(tenant, matrix, x.clone()).unwrap();
+    match server.submit(tenant, matrix, x.clone()).map(|_| ()) {
+        Err(ServeError::Overloaded { tenant, capacity }) => {
+            assert_eq!(tenant, "bounded");
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(server.stats().shed, 1);
+    // The shed is not sticky: once the window closes and the batch drains,
+    // capacity frees up and the tenant is served again.
+    t1.wait().unwrap();
+    t2.wait().unwrap();
+    let t4 = server.submit(tenant, matrix, x).unwrap();
+    t4.wait().unwrap();
+    assert_eq!(server.stats().completed, 3);
+}
+
+/// Per-tenant isolation: one tenant at its bound must not impede another
+/// tenant's admission on the same matrix.
+#[test]
+fn tenant_isolation_under_load_shed() {
+    let n = 32;
+    let entries: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0)).collect();
+    let server = SpmvServer::new(
+        ExecCtx::host(),
+        ServeConfig {
+            workers: 1,
+            batch_window: Duration::from_millis(200),
+            max_batch: 8,
+            tenant_capacity: 64,
+            tune_budget: TuneBudget::minimal(),
+        },
+    );
+    let small = server.register_tenant_with_capacity("small", 1);
+    let big = server.register_tenant("big");
+    let matrix = server.register_matrix("m", build(n, &entries));
+    let x = vec![1.0; n];
+
+    let held = server.submit(small, matrix, x.clone()).unwrap();
+    assert!(matches!(
+        server.submit(small, matrix, x.clone()).map(|_| ()),
+        Err(ServeError::Overloaded { .. })
+    ));
+    // The saturated neighbour does not shed the other tenant.
+    let fine: Vec<_> = (0..8)
+        .map(|_| server.submit(big, matrix, x.clone()).unwrap())
+        .collect();
+    held.wait().unwrap();
+    for t in fine {
+        t.wait().unwrap();
+    }
+    assert_eq!(server.in_flight(small), Some(0));
+    assert_eq!(server.in_flight(big), Some(0));
+}
+
+/// Dimension mismatches are rejected at submit time, before anything is
+/// queued (the ticket never exists, the queue never grows).
+#[test]
+fn dimension_mismatch_rejected_at_submit() {
+    let n = 16;
+    let entries: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0)).collect();
+    let server = coalescing_server(4);
+    let tenant = server.register_tenant("t");
+    let matrix = server.register_matrix("m", build(n, &entries));
+    match server.submit(tenant, matrix, vec![1.0; n + 3]).map(|_| ()) {
+        Err(ServeError::DimensionMismatch { expected, got }) => {
+            assert_eq!(expected, n);
+            assert_eq!(got, n + 3);
+        }
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+    let bad = MultiVec::zeros(n - 1, 2);
+    assert!(matches!(
+        server.submit_multi(tenant, matrix, bad).map(|_| ()),
+        Err(ServeError::DimensionMismatch { .. })
+    ));
+    assert_eq!(server.stats().submitted, 0);
+}
+
+/// The stats surface stays internally consistent after mixed traffic:
+/// ordered percentiles, completed == submitted - shed, and a batch
+/// histogram that accounts for every dispatch.
+#[test]
+fn stats_percentiles_are_sane() {
+    let n = 128;
+    let entries: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, (i * 7) % n, 0.5)).collect();
+    let server = coalescing_server(4);
+    let tenant = server.register_tenant("t");
+    let matrix = server.register_matrix("m", build(n, &entries));
+    let x = vec![1.0; n];
+    for _ in 0..3 {
+        let tickets: Vec<_> = (0..8)
+            .map(|_| server.submit(tenant, matrix, x.clone()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+    let snap = server.stats();
+    assert_eq!(snap.submitted, 24);
+    assert_eq!(snap.completed, 24);
+    assert_eq!(snap.shed, 0);
+    assert!(
+        snap.p50 <= snap.p95,
+        "p50 {:?} > p95 {:?}",
+        snap.p50,
+        snap.p95
+    );
+    assert!(
+        snap.p95 <= snap.p99,
+        "p95 {:?} > p99 {:?}",
+        snap.p95,
+        snap.p99
+    );
+    assert!(snap.p99 <= snap.max_latency);
+    assert!(snap.mean_latency <= snap.max_latency);
+    assert!(snap.p99 > Duration::ZERO);
+    let dispatched: u64 = snap
+        .batch_hist
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i + 1) as u64 * c)
+        .sum();
+    assert_eq!(
+        dispatched, snap.completed,
+        "histogram must cover every request"
+    );
+    assert!((snap.mean_batch - snap.completed as f64 / snap.batches as f64).abs() < 1e-9);
+}
+
+/// A persistent plan cache makes the second server's registration warm:
+/// no classifier call, no timed trials, same plan label — the property
+/// the ci_bench serving rows depend on for deterministic kernels.
+#[test]
+fn shared_plan_cache_warms_second_registration() {
+    let dir = std::env::temp_dir().join(format!("sparseopt-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plan_cache.json");
+    let _ = std::fs::remove_file(&path);
+
+    let n = 256;
+    let entries: Vec<(usize, usize, f64)> = (0..n)
+        .flat_map(|i| {
+            [(i, i, 4.0)]
+                .into_iter()
+                .chain((i + 1 < n).then_some((i, i + 1, -1.0)))
+        })
+        .collect();
+    let csr = build(n, &entries);
+    let cfg = ServeConfig {
+        workers: 1,
+        batch_window: Duration::ZERO,
+        max_batch: 1,
+        tenant_capacity: 8,
+        tune_budget: TuneBudget::minimal(),
+    };
+
+    let cold = SpmvServer::with_plan_cache(ExecCtx::host(), cfg, PlanCache::at_path(&path).0);
+    let m1 = cold.register_matrix("m", csr.clone());
+    let info1 = cold.matrix_info(m1).unwrap();
+    assert!(!info1.warm, "first registration must tune cold");
+    drop(cold);
+
+    let warm = SpmvServer::with_plan_cache(ExecCtx::host(), cfg, PlanCache::at_path(&path).0);
+    let m2 = warm.register_matrix("m", csr);
+    let info2 = warm.matrix_info(m2).unwrap();
+    assert!(
+        info2.warm,
+        "second registration must hit the persisted plan"
+    );
+    assert_eq!(info1.plan_label, info2.plan_label);
+    assert_eq!(info1.fingerprint, info2.fingerprint);
+    let _ = std::fs::remove_file(&path);
+}
