@@ -40,31 +40,57 @@ doc_tier() {
 
 md_link_tier() {
   # Markdown link lint: every intra-repo link target in the tracked
-  # markdown (README, docs/, ROADMAP, ...) must exist on disk, so the
-  # architecture/benchmarking book cannot rot when files move.
+  # markdown (README, docs/, ROADMAP, ...) must exist on disk, and every
+  # docs/*.md page must be reachable from README.md by following those
+  # links (BFS), so the docs book cannot rot when files move and a new
+  # page cannot land orphaned.
   python3 - <<'PY'
 import re, subprocess, sys
 from pathlib import Path
 
+# -co: tracked plus untracked-but-not-ignored, so a brand-new page is
+# linted (and orphan-checked) before it is ever `git add`ed.
 files = subprocess.run(
-    ["git", "ls-files", "*.md"], capture_output=True, text=True, check=True
+    ["git", "ls-files", "-co", "--exclude-standard", "*.md"],
+    capture_output=True, text=True, check=True,
 ).stdout.split()
 # Retrieved reference material (paper scrapes) is not ours to fix.
 files = [f for f in files if f not in ("PAPERS.md", "SNIPPETS.md", "PAPER.md")]
 link = re.compile(r"\]\(([^)\s]+)\)")
 bad = []
+edges = {}  # resolved md path -> set of resolved md link targets
 for f in files:
     text = Path(f).read_text(encoding="utf-8")
+    targets = set()
     for target in link.findall(text):
         if target.startswith(("http://", "https://", "mailto:", "#")):
             continue
         path = target.split("#", 1)[0]
-        if path and not (Path(f).parent / path).exists():
+        if not path:
+            continue
+        resolved = Path(f).parent / path
+        if not resolved.exists():
             bad.append(f"{f}: broken link -> {target}")
+        elif resolved.suffix == ".md":
+            targets.add(str(resolved.resolve().relative_to(Path.cwd())))
+    edges[f] = targets
+
+# Orphan-page detection: BFS over the link graph from README.md.
+reachable, frontier = {"README.md"}, ["README.md"]
+while frontier:
+    for t in edges.get(frontier.pop(), ()):
+        if t not in reachable:
+            reachable.add(t)
+            frontier.append(t)
+for f in files:
+    if f.startswith("docs/") and f not in reachable:
+        bad.append(f"{f}: orphan page (not reachable from README.md)")
+
 if bad:
     print("\n".join(bad), file=sys.stderr)
     sys.exit(1)
-print(f"markdown links ok across {len(files)} file(s)")
+print(f"markdown links ok across {len(files)} file(s); "
+      f"{sum(1 for f in files if f.startswith('docs/'))} docs page(s) reachable")
 PY
 }
 

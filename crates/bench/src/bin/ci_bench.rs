@@ -42,9 +42,11 @@
 
 use sparseopt_bench::Table;
 use sparseopt_classifier::SimBoundsProfiler;
+use sparseopt_core::kernels::{peak_resident_shard_bytes, reset_peak_resident_shard_bytes};
 use sparseopt_core::prelude::*;
 use sparseopt_core::CsrKernelConfig;
 use sparseopt_matrix::generators as g;
+use sparseopt_matrix::{shard::write_shard_file, streaming_suite, ShardStore};
 use sparseopt_optimizer::{AdaptiveOptimizer, PlanCache, PlanTuner, TuneBudget};
 use sparseopt_serve::{ServeConfig, SpmvServer, Ticket};
 use sparseopt_sim::Platform;
@@ -336,6 +338,14 @@ fn measure_serving(
     }
     best
 }
+
+/// The out-of-core streaming member: a degree-sorted power-law matrix whose
+/// head shard (hubs) and tail shards (short rows) tune to different formats,
+/// benched through the shard container + `ShardedOp` path.
+const STREAM_MATRIX: &str = "powerlaw-sorted-48k";
+
+/// Shards the streaming member gets in the container.
+const STREAM_SHARDS: usize = 8;
 
 /// The kernel family measured per matrix. Names are stable identifiers.
 fn kernels(csr: &Arc<CsrMatrix>, ctx: &Arc<ExecCtx>) -> Vec<(&'static str, Box<dyn SparseLinOp>)> {
@@ -661,6 +671,102 @@ fn main() {
             gflops: gf,
         });
     }
+    // Out-of-core rows: the streaming suite member goes through the full
+    // shard pipeline — container write, mmap-backed open, per-shard plan
+    // selection — and is measured as a `ShardedOp` with every shard kernel
+    // resident (window = nshards ≥ 2, the steady state a solver loop sees).
+    // The whole-matrix csr-baseline row on the same member is the no-loss
+    // reference.
+    let mut shard_failures: Vec<String> = Vec::new();
+    let stream_csr = streaming_suite()
+        .into_iter()
+        .find(|m| m.name == STREAM_MATRIX)
+        .expect("streaming suite member")
+        .csr;
+    let shard_path =
+        std::env::temp_dir().join(format!("sparseopt-ci-bench-{}.shards", std::process::id()));
+    write_shard_file(&shard_path, &stream_csr, stream_csr.nrows() / STREAM_SHARDS)
+        .expect("write shard container");
+    let store = Arc::new(ShardStore::open(&shard_path).expect("open shard container"));
+    std::fs::remove_file(&shard_path).ok();
+    let sharded_window = store.nshards();
+    let sharded = tuner
+        .optimize_sharded(
+            store.clone(),
+            &tune_profiler,
+            Platform::broadwell(),
+            sharded_window,
+        )
+        .expect("tune sharded");
+    println!(
+        "sharded {STREAM_MATRIX}: {} shard(s), window {sharded_window}, per-shard plans [{}]",
+        store.nshards(),
+        sharded.distinct_plan_labels().join(" | ")
+    );
+    // Residency accounting hook first, while no other sharded operator has
+    // built kernels (the accounting is crate-global): stream the matrix
+    // through a bounded window (2 of the {STREAM_SHARDS}) and assert the
+    // peak resident built-shard bytes never exceeded window · max_shard_bytes.
+    {
+        let bounded = tuner
+            .optimize_sharded(store.clone(), &tune_profiler, Platform::broadwell(), 2)
+            .expect("tune bounded sharded");
+        let x: Vec<f64> = vec![1.0; stream_csr.ncols()];
+        let mut y = vec![0.0f64; stream_csr.nrows()];
+        reset_peak_resident_shard_bytes();
+        bounded.op.spmv(&x, &mut y);
+        bounded.op.spmv(&x, &mut y);
+        let peak = peak_resident_shard_bytes();
+        let bound = 2 * bounded.op.max_built_shard_bytes();
+        println!(
+            "sharded residency at window 2: peak {peak} bytes vs bound {bound} bytes \
+             (2 x largest built shard)"
+        );
+        if peak > bound {
+            shard_failures.push(format!(
+                "window-2 apply held {peak} resident shard bytes, above the \
+                 window bound {bound}"
+            ));
+        }
+    }
+    // Correctness: the streamed operator must match the in-memory reference
+    // to 1e-12 relative. A mismatch fails the tier (not a panic — the
+    // remaining gates still report).
+    {
+        let reference = SerialCsr::new(stream_csr.clone());
+        let x: Vec<f64> = (0..stream_csr.ncols())
+            .map(|i| 0.5 + (i as f64 * 0.13).sin())
+            .collect();
+        let (mut got, mut want) = (
+            vec![0.0f64; stream_csr.nrows()],
+            vec![0.0f64; stream_csr.nrows()],
+        );
+        sharded.op.spmv(&x, &mut got);
+        reference.spmv(&x, &mut want);
+        if let Some(i) =
+            (0..got.len()).find(|&i| (got[i] - want[i]).abs() > 1e-12 * want[i].abs().max(1.0))
+        {
+            shard_failures.push(format!(
+                "sharded-spmv diverges from the in-memory reference at row {i} \
+                 ({} vs {})",
+                got[i], want[i]
+            ));
+        }
+    }
+    let mut shard_gf = measure(sharded.op.as_ref());
+    let mut shard_base_gf = measure(&ParallelCsr::baseline(stream_csr.clone(), ctx.clone()));
+    for (kname, gf) in [("sharded-spmv", shard_gf), ("csr-baseline", shard_base_gf)] {
+        table.row(vec![
+            STREAM_MATRIX.to_string(),
+            kname.to_string(),
+            format!("{gf:.3}"),
+        ]);
+        entries.push(Entry {
+            matrix: STREAM_MATRIX.to_string(),
+            kernel: kname.to_string(),
+            gflops: gf,
+        });
+    }
     println!("{}", table.render());
 
     // Vectorization no-loss gate (unconditional, every matrix, any thread
@@ -675,6 +781,16 @@ fn main() {
     // point: a stale schedule resolution or a cold structure is exactly the
     // transient state a retry should not inherit.
     let remeasure = |m: &str, k: &str| -> Option<f64> {
+        if m == STREAM_MATRIX {
+            return match k {
+                "sharded-spmv" => Some(measure(sharded.op.as_ref())),
+                "csr-baseline" => Some(measure(&ParallelCsr::baseline(
+                    stream_csr.clone(),
+                    ctx.clone(),
+                ))),
+                _ => None,
+            };
+        }
         let csr = mats.iter().find(|(n, _)| *n == m).map(|(_, c)| c)?;
         match k {
             // The optimizer rows rebuild through their own entry points;
@@ -793,6 +909,44 @@ fn main() {
         "plan tuner: {} hit(s), {} miss(es), {} promotion(s), {} timed trial(s); cache -> {plan_cache_path}",
         tstats.hits, tstats.misses, tstats.promotions, tstats.timed_trials
     );
+
+    // Sharded no-loss gate: with every shard kernel resident, streaming
+    // through the container must not lose to the whole-matrix scalar CSR
+    // baseline — the per-shard formats have to buy back the per-shard
+    // dispatch overhead. Correctness and residency failures recorded above
+    // fail here too.
+    {
+        for msg in &shard_failures {
+            eprintln!("FAIL: {msg}");
+            failed = true;
+        }
+        let mut tries = 0;
+        while shard_gf < shard_base_gf && tries < RETRIES {
+            tries += 1;
+            // Re-measure both sides inside one noise window.
+            shard_gf = measure(sharded.op.as_ref());
+            shard_base_gf = measure(&ParallelCsr::baseline(stream_csr.clone(), ctx.clone()));
+        }
+        let ratio = shard_gf / shard_base_gf.max(1e-12);
+        let verdict = if shard_gf < shard_base_gf {
+            "FAIL"
+        } else if tries > 0 {
+            "ok (retried)"
+        } else {
+            "ok"
+        };
+        println!(
+            "sharded no-loss gate on {STREAM_MATRIX}: sharded-spmv {shard_gf:.3} vs \
+             csr-baseline {shard_base_gf:.3} Gflop/s ({ratio:.2}x at window {sharded_window})  {verdict}"
+        );
+        if shard_gf < shard_base_gf {
+            eprintln!(
+                "FAIL: sharded out-of-core SpMV loses to the whole-matrix CSR baseline on \
+                 {STREAM_MATRIX} ({shard_gf:.3} < {shard_base_gf:.3} Gflop/s)"
+            );
+            failed = true;
+        }
+    }
 
     // Serving coalescing acceptance gate: folding a backlog of
     // single-vector requests into SpMM batches must pay — batched

@@ -23,6 +23,7 @@ mod merge;
 mod microbench;
 mod rowprim;
 mod sell;
+mod sharded;
 mod slab;
 mod sym;
 mod symgs;
@@ -38,6 +39,10 @@ pub use merge::MergeCsr;
 pub use microbench::{regularize_colind, UnitStrideCsr};
 pub use rowprim::{row_dot, InnerLoop, SPMM_COL_TILE};
 pub use sell::SellKernel;
+pub use sharded::{
+    peak_resident_shard_bytes, reset_peak_resident_shard_bytes, resident_shard_bytes, BuildReason,
+    ShardBuildFn, ShardLoadFn, ShardSpec, ShardedOp,
+};
 pub use slab::{BcsrKernel, EllKernel};
 pub use sym::SymCsr;
 pub use symgs::{SymGsError, SymGsKernel};

@@ -68,10 +68,10 @@ pub mod prelude {
     pub use crate::delta::{DeltaCsrMatrix, DeltaWidth};
     pub use crate::ell::EllMatrix;
     pub use crate::kernels::{
-        gflops, Apply, BcsrKernel, CsrKernelConfig, DecomposedKernel, DeltaKernel, EllKernel,
-        InnerLoop, LevelSets, MergeCsr, OpCapabilities, ParallelCsr, SellKernel, SerialCsr,
-        SparseLinOp, SpmmKernel, SpmvKernel, SymCsr, SymGsError, SymGsKernel, TrsvAlgo,
-        TrsvDirection, TrsvError, TrsvKernel, UnitStrideCsr,
+        gflops, Apply, BcsrKernel, BuildReason, CsrKernelConfig, DecomposedKernel, DeltaKernel,
+        EllKernel, InnerLoop, LevelSets, MergeCsr, OpCapabilities, ParallelCsr, SellKernel,
+        SerialCsr, ShardSpec, ShardedOp, SparseLinOp, SpmmKernel, SpmvKernel, SymCsr, SymGsError,
+        SymGsKernel, TrsvAlgo, TrsvDirection, TrsvError, TrsvKernel, UnitStrideCsr,
     };
     pub use crate::multivec::MultiVec;
     pub use crate::partition::{MergeSegment, Partition, Partition2d};

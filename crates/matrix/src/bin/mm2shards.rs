@@ -1,0 +1,89 @@
+//! Matrix Market → shard container converter.
+//!
+//! ```text
+//! mm2shards <in.mtx> <out.shards> [--rows-per-shard N | --shards N]
+//! ```
+//!
+//! Reads a Matrix Market file, assembles it to CSR, and writes the
+//! out-of-core shard container consumed by `ShardStore` / `ShardedOp`.
+//! With `--shards N` the row-block size is chosen so the file holds
+//! exactly `N` (or, for awkward divisions, at most `N`) shards; the
+//! default is 8 shards.
+
+use sparseopt_core::prelude::CsrMatrix;
+use sparseopt_matrix::io::read_matrix_market_file;
+use sparseopt_matrix::shard::write_shard_file;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mm2shards <in.mtx> <out.shards> [--rows-per-shard N | --shards N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut rows_per_shard: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rows-per-shard" | "--shards" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if v == 0 {
+                    return usage();
+                }
+                if arg == "--rows-per-shard" {
+                    rows_per_shard = Some(v);
+                } else {
+                    shards = Some(v);
+                }
+            }
+            "--help" | "-h" => return usage(),
+            other => positional.push(PathBuf::from(other)),
+        }
+    }
+    let [input, output] = positional.as_slice() else {
+        return usage();
+    };
+    if rows_per_shard.is_some() && shards.is_some() {
+        return usage();
+    }
+
+    let coo = match read_matrix_market_file(input) {
+        Ok(coo) => coo,
+        Err(e) => {
+            eprintln!("mm2shards: cannot read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let csr = CsrMatrix::from_coo(&coo);
+    let block = rows_per_shard.unwrap_or_else(|| {
+        csr.nrows()
+            .div_ceil(shards.unwrap_or(8).min(csr.nrows().max(1)))
+    });
+
+    match write_shard_file(output, &csr, block.max(1)) {
+        Ok(n) => {
+            println!(
+                "{}: {} rows x {} cols, {} nnz -> {} shard(s) of <= {} rows at {}",
+                input.display(),
+                csr.nrows(),
+                csr.ncols(),
+                csr.nnz(),
+                n,
+                block.max(1),
+                output.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mm2shards: cannot write {}: {e}", output.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -37,19 +37,26 @@ pub struct MatrixFeatures {
     pub nrows: usize,
     /// Nonzero count.
     pub nnz: usize,
-    /// min / max / mean / standard deviation of `nnz_i` (Θ(N)).
+    /// Minimum row nonzero count `min(nnz_i)` (Θ(N)).
     pub nnz_min: f64,
+    /// Maximum row nonzero count `max(nnz_i)` (Θ(N)).
     pub nnz_max: f64,
+    /// Mean row nonzero count (Θ(N)).
     pub nnz_avg: f64,
+    /// Standard deviation of `nnz_i` (Θ(N)).
     pub nnz_sd: f64,
-    /// min / max / mean / standard deviation of `bw_i` (Θ(NNZ) access to
-    /// first/last column per row — O(N) array reads given CSR).
+    /// Minimum row bandwidth `min(bw_i)` (first/last column per row —
+    /// O(N) array reads given CSR).
     pub bw_min: f64,
+    /// Maximum row bandwidth `max(bw_i)`.
     pub bw_max: f64,
+    /// Mean row bandwidth.
     pub bw_avg: f64,
+    /// Standard deviation of `bw_i`.
     pub bw_sd: f64,
-    /// mean / sd of `scatter_i` (a.k.a. dispersion).
+    /// Mean of `scatter_i` (a.k.a. dispersion).
     pub scatter_avg: f64,
+    /// Standard deviation of `scatter_i`.
     pub scatter_sd: f64,
     /// mean of `clustering_i` (Θ(NNZ)).
     pub clustering_avg: f64,

@@ -249,6 +249,37 @@ pub fn power_law(n: usize, avg_nnz_per_row: usize, alpha: f64, seed: u64) -> Coo
     coo
 }
 
+/// Degree-*sorted* scale-free matrix: the [`power_law`] length distribution
+/// in crawl order — row `i` receives `⌈c · (i+1)^(−alpha) · n⌉` entries with
+/// **no** row scattering, so the hubs concentrate at the top of the index
+/// space and row lengths decay monotonically toward a short-row tail.
+///
+/// This is the archetypal *out-of-core sharding* shape: consecutive
+/// row-block shards of this matrix have genuinely different structure (a
+/// hub-heavy head block vs. near-empty tail blocks), so a per-shard
+/// classifier legitimately assigns them different bottleneck classes and
+/// formats — unlike [`power_law`], whose scattered hubs make every row
+/// block statistically alike. Columns keep the preferential-attachment skew
+/// and scatter of [`power_law`], preserving the irregular `x` access.
+pub fn power_law_sorted(n: usize, avg_nnz_per_row: usize, alpha: f64, seed: u64) -> CooMatrix {
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let target_nnz = n * avg_nnz_per_row;
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut coo = CooMatrix::with_capacity(n, n, target_nnz + n);
+    for (i, &w) in weights.iter().enumerate() {
+        let len = ((w / wsum) * target_nnz as f64).round().max(1.0) as usize;
+        let len = len.min(n);
+        for _ in 0..len {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            let j = ((u.powf(2.0)) * n as f64) as usize % n;
+            coo.push(i, scatter_index(j, n), rng.gen_range(-1.0..1.0));
+        }
+    }
+    coo
+}
+
 /// Power-law matrix with a single dominant hub: the [`power_law`] background
 /// plus one completely full row at a scattered position. With the default
 /// background weight of `avg_nnz_per_row` entries per row, the hub holds at

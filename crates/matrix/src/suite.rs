@@ -334,6 +334,25 @@ pub fn spd_suite() -> Vec<SuiteMatrix> {
         .collect()
 }
 
+/// Members exercising the **out-of-core sharded layer**: matrices whose
+/// row-block shards have genuinely different structure, so the per-shard
+/// planner legitimately picks different formats per shard (the paper's
+/// decomposed-class insight at container granularity).
+///
+/// Separate from [`paper_suite`] (pinned membership): `powerlaw-sorted-48k`
+/// is a degree-sorted web crawl — its head shard is hub-dominated (IMB-ish,
+/// long skewed rows) while its tail shards are short-row/irregular (MB/CMP),
+/// which is exactly the shape the sharded bench row and the per-shard
+/// classifier-pipeline pin run on.
+pub fn streaming_suite() -> Vec<SuiteMatrix> {
+    vec![SuiteMatrix {
+        name: "powerlaw-sorted-48k",
+        category: Category::PowerLaw,
+        csr: Arc::new(csr(g::power_law_sorted(48_000, 10, 0.9, 1234))),
+        scale: 1.0,
+    }]
+}
+
 /// Scale of a stand-in relative to its UF original (>= 1).
 fn scale_for(uf_nnz: usize, synthetic_nnz: usize) -> f64 {
     if uf_nnz == 0 || synthetic_nnz == 0 {

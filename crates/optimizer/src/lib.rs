@@ -11,6 +11,7 @@ pub mod optimizers;
 pub mod plan_cache;
 pub mod pool;
 pub mod rank;
+pub mod sharded;
 pub mod tuner;
 
 pub use amortization::{
@@ -27,4 +28,5 @@ pub use pool::{
     OptimizationPlan, LONG_ROW_FACTOR, LONG_ROW_SKEW,
 };
 pub use rank::{candidate_plans, rank_plans, ranked_candidates, RankedPlan};
+pub use sharded::{ShardPlanReport, TunedShardedOp};
 pub use tuner::{PlanTuner, TuneBudget, TuneOutcome, TunedKernel, TunerStatsSnapshot};

@@ -325,11 +325,23 @@ fn parse(text: &str) -> Result<HashMap<String, PlanCacheEntry>, String> {
         let opts_raw = need("opts")?;
         let mut optimizations = Vec::new();
         if !opts_raw.is_empty() {
-            for label in opts_raw.split('+') {
-                optimizations.push(
-                    Optimization::parse_label(label)
-                        .ok_or_else(|| at(format!("unknown optimization `{label}`")))?,
-                );
+            // Labels are `+`-joined, but a label may itself contain `+`
+            // (`compress+vec`), so greedily match the longest token run.
+            let tokens: Vec<&str> = opts_raw.split('+').collect();
+            let mut i = 0;
+            while i < tokens.len() {
+                let mut matched = None;
+                for j in (i + 1..=tokens.len()).rev() {
+                    if let Some(o) = Optimization::parse_label(&tokens[i..j].join("+")) {
+                        matched = Some((o, j));
+                        break;
+                    }
+                }
+                let Some((o, j)) = matched else {
+                    return Err(at(format!("unknown optimization `{}`", tokens[i])));
+                };
+                optimizations.push(o);
+                i = j;
             }
         }
         let inner_raw = need("inner")?;
@@ -422,6 +434,35 @@ mod tests {
         assert_eq!(e.measured, entry("x").measured);
         let plan = e.to_plan();
         assert_eq!(plan.label(), "merge-split+prefetch");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn labels_containing_plus_round_trip() {
+        // `compress+vec` contains the join separator; the parser must
+        // reassemble it instead of rejecting the file (which silently
+        // discarded every cache holding that plan).
+        let path = tmp("plus-label");
+        let _ = std::fs::remove_file(&path);
+        let (mut cache, _) = PlanCache::at_path(&path);
+        let mut e = entry("v1:plus");
+        e.optimizations = vec![
+            Optimization::CompressVectorize,
+            Optimization::Prefetch,
+            Optimization::AutoSchedule,
+        ];
+        cache.insert(e);
+        let (reloaded, warn) = PlanCache::at_path(&path);
+        assert!(warn.is_none(), "{warn:?}");
+        let e = reloaded.get("v1:plus").expect("hit");
+        assert_eq!(
+            e.optimizations,
+            vec![
+                Optimization::CompressVectorize,
+                Optimization::Prefetch,
+                Optimization::AutoSchedule,
+            ]
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

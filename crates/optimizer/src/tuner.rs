@@ -233,6 +233,11 @@ impl PlanTuner {
     }
 
     /// Overrides the search budget.
+    /// The execution context tuned kernels are built and measured on.
+    pub fn ctx(&self) -> &Arc<ExecCtx> {
+        self.opt.ctx()
+    }
+
     pub fn with_budget(mut self, budget: TuneBudget) -> Self {
         self.budget = budget;
         self

@@ -79,6 +79,8 @@
 //! assert_eq!(server.stats().completed, 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod server;
 pub mod stats;
 
@@ -137,6 +139,9 @@ pub enum ServeError {
     },
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// An out-of-core shard container could not be opened or validated
+    /// (see [`sparseopt_matrix::ShardError`] for the underlying cause).
+    ShardContainer(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -153,6 +158,9 @@ impl std::fmt::Display for ServeError {
                 "tenant `{tenant}` is at its in-flight capacity ({capacity}); request shed"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::ShardContainer(msg) => {
+                write!(f, "shard container rejected: {msg}")
+            }
         }
     }
 }

@@ -35,6 +35,7 @@ use sparseopt_classifier::SimBoundsProfiler;
 use sparseopt_core::kernels::{Apply, SparseLinOp};
 use sparseopt_core::multivec::MultiVec;
 use sparseopt_core::{csr::CsrMatrix, pool::ExecCtx};
+use sparseopt_matrix::ShardStore;
 use sparseopt_optimizer::{OpRequirements, PlanCache, PlanTuner, TuneBudget, TuneOutcome};
 use sparseopt_sim::Platform;
 use sparseopt_solver::{cg, IdentityPrecond, JacobiPrecond, Preconditioner, SolverOptions};
@@ -297,6 +298,83 @@ impl SpmvServer {
         let mut st = self.inner.state.lock().unwrap();
         st.matrices.push(entry);
         MatrixId(st.matrices.len() - 1)
+    }
+
+    /// Registers an **out-of-core** matrix from an on-disk shard container
+    /// (written by [`sparseopt_matrix::write_shard_file`] or the
+    /// `mm2shards` tool) without ever materializing the whole matrix:
+    /// each shard is loaded once, tuned to its own plan, and then served
+    /// through a [`ShardedOp`](sparseopt_core::kernels::ShardedOp) that
+    /// keeps at most `window` shard kernels resident.
+    ///
+    /// Requests against the returned id go through the exact same queue,
+    /// coalescing, and solve paths as in-memory matrices — the streaming
+    /// is invisible to clients.
+    ///
+    /// ```
+    /// use sparseopt_core::prelude::*;
+    /// use sparseopt_serve::{ServeConfig, SpmvServer, TuneBudget};
+    ///
+    /// let csr = CsrMatrix::from_coo(&sparseopt_matrix::generators::banded(120, 2));
+    /// let path = std::env::temp_dir().join(format!(
+    ///     "sparseopt-serve-doc-{}.shards",
+    ///     std::process::id()
+    /// ));
+    /// sparseopt_matrix::write_shard_file(&path, &csr, 40).unwrap();
+    ///
+    /// let server = SpmvServer::new(
+    ///     ExecCtx::new(1),
+    ///     ServeConfig { tune_budget: TuneBudget::minimal(), ..ServeConfig::default() },
+    /// );
+    /// let tenant = server.register_tenant("docs");
+    /// let matrix = server.register_sharded_from_path("band-ooc", &path, 2).unwrap();
+    /// std::fs::remove_file(&path).unwrap(); // the open store keeps serving
+    ///
+    /// let y = server.submit(tenant, matrix, vec![1.0; 120]).unwrap().wait().unwrap();
+    /// # let _ = y;
+    /// ```
+    pub fn register_sharded_from_path(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+        window: usize,
+    ) -> Result<MatrixId, ServeError> {
+        let store = Arc::new(
+            ShardStore::open(path.as_ref())
+                .map_err(|e| ServeError::ShardContainer(e.to_string()))?,
+        );
+        let tuner = self.tuner.lock().unwrap();
+        let tuned = {
+            let _exec = self.inner.exec.lock().unwrap();
+            tuner
+                .optimize_sharded(
+                    store.clone(),
+                    &self.profiler,
+                    Platform::broadwell(),
+                    window.max(1),
+                )
+                .map_err(|e| ServeError::ShardContainer(e.to_string()))?
+        };
+        drop(tuner);
+        let entry = MatrixEntry {
+            info: MatrixInfo {
+                name: name.to_string(),
+                shape: (store.nrows(), store.ncols()),
+                nnz: store.nnz(),
+                plan_label: format!("sharded[{}]", tuned.distinct_plan_labels().join("|")),
+                fingerprint: format!("sharded:nshards={}", store.nshards()),
+                warm: tuned.warm(),
+            },
+            kernel: tuned.op.clone(),
+            // No whole-matrix diagonal without a full pass; identity keeps
+            // solves correct, just unaccelerated.
+            precond: Arc::new(IdentityPrecond),
+            queue: VecDeque::new(),
+            claimed: false,
+        };
+        let mut st = self.inner.state.lock().unwrap();
+        st.matrices.push(entry);
+        Ok(MatrixId(st.matrices.len() - 1))
     }
 
     /// What registration learned about `matrix`.
@@ -639,5 +717,88 @@ fn execute_batch(
         request.in_flight.fetch_sub(1, Ordering::AcqRel);
         inner.stats.record_completion(request.submitted.elapsed());
         request.ticket.fulfill(Ok(reply));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseopt_matrix::{generators, write_shard_file};
+
+    fn quick_server() -> SpmvServer {
+        SpmvServer::new(
+            ExecCtx::new(1),
+            ServeConfig {
+                tune_budget: TuneBudget::minimal(),
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sharded_registration_serves_identical_results() {
+        let csr = Arc::new(CsrMatrix::from_coo(&generators::power_law_sorted(
+            300, 6, 0.9, 7,
+        )));
+        let path = std::env::temp_dir().join(format!(
+            "sparseopt-serve-shard-{}.shards",
+            std::process::id()
+        ));
+        write_shard_file(&path, &csr, 75).expect("write shards");
+
+        let server = quick_server();
+        let tenant = server.register_tenant("t");
+        let dense = server.register_matrix("inmem", csr.clone());
+        let sharded = server
+            .register_sharded_from_path("ooc", &path, 2)
+            .expect("register sharded");
+        std::fs::remove_file(&path).ok();
+
+        let info = server.matrix_info(sharded).expect("info");
+        assert_eq!(info.shape, (csr.nrows(), csr.ncols()));
+        assert_eq!(info.nnz, csr.nnz());
+        assert!(
+            info.plan_label.starts_with("sharded["),
+            "{}",
+            info.plan_label
+        );
+
+        let x: Vec<f64> = (0..csr.ncols()).map(|i| ((i % 17) as f64) - 8.0).collect();
+        let want = match server
+            .submit(tenant, dense, x.clone())
+            .unwrap()
+            .wait()
+            .unwrap()
+        {
+            crate::Reply::Vector(y) => y,
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        let got = match server.submit(tenant, sharded, x).unwrap().wait().unwrap() {
+            crate::Reply::Vector(y) => y,
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn missing_or_corrupt_container_is_a_typed_error() {
+        let server = quick_server();
+        let err = server
+            .register_sharded_from_path("nope", "/nonexistent/path.shards", 2)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::ShardContainer(_)), "{err}");
+
+        let path = std::env::temp_dir().join(format!(
+            "sparseopt-serve-badmagic-{}.shards",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"NOTSHRD0aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa").unwrap();
+        let err = server
+            .register_sharded_from_path("bad", &path, 2)
+            .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, ServeError::ShardContainer(_)), "{err}");
     }
 }

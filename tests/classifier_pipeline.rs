@@ -411,3 +411,79 @@ fn classification_is_deterministic() {
     let b = classifier.classify(&profiler.measure(&csr));
     assert_eq!(a, b);
 }
+
+/// The out-of-core pinning test: shards of the degree-sorted power-law
+/// streaming-suite member legitimately belong to different bottleneck
+/// classes, so the per-shard planner must pick **different formats** for
+/// at least two of them (the paper's decomposed-class insight hoisted to
+/// container granularity).
+#[test]
+fn per_shard_planner_diversifies_formats_on_streaming_suite() {
+    use sparseopt::matrix::{shard::write_shard_file, streaming_suite, ShardStore};
+
+    let member = &streaming_suite()[0];
+    assert_eq!(member.name, "powerlaw-sorted-48k");
+    let csr = &member.csr;
+    let path = std::env::temp_dir().join(format!(
+        "sparseopt-pipeline-shards-{}.shards",
+        std::process::id()
+    ));
+    write_shard_file(&path, csr, csr.nrows() / 8).expect("write shards");
+    let store = Arc::new(ShardStore::open(&path).expect("open"));
+    std::fs::remove_file(&path).ok();
+
+    // Deterministic layer first: the sim-profiled classifier alone (no
+    // timed trials) must already assign different plans to the hub-heavy
+    // head shard and the short-row tail.
+    let profiler = SimBoundsProfiler::new(Platform::broadwell());
+    let ctx = ExecCtx::new(1);
+    let classifier_labels: Vec<String> = (0..store.nshards())
+        .map(|i| {
+            let fragment = Arc::new(store.load(i).expect("load shard"));
+            AdaptiveOptimizer::new(ctx.clone())
+                .optimize_profiled_for(&fragment, &profiler, &OpRequirements::full())
+                .plan
+                .label()
+        })
+        .collect();
+    let mut distinct = classifier_labels.clone();
+    distinct.sort();
+    distinct.dedup();
+    assert!(
+        distinct.len() >= 2,
+        "classifier assigned one plan to every shard: {classifier_labels:?}"
+    );
+    assert_ne!(
+        classifier_labels.first(),
+        classifier_labels.last(),
+        "hub head shard and tail shard must classify differently"
+    );
+
+    // Full per-shard planner end-to-end: same diversity must survive the
+    // tuner (cache, budget, promotion), and the assembled operator must
+    // agree with the in-memory reference.
+    let tuner = PlanTuner::new(ExecCtx::new(2)).with_budget(TuneBudget::minimal());
+    let tuned = tuner
+        .optimize_sharded(store, &profiler, Platform::broadwell(), 2)
+        .expect("tune sharded");
+    assert!(
+        tuned.distinct_plan_labels().len() >= 2,
+        "per-shard planner collapsed to one format: {:?}",
+        tuned
+            .shard_plans
+            .iter()
+            .map(|p| p.plan_label.clone())
+            .collect::<Vec<_>>()
+    );
+
+    let reference = SerialCsr::new(csr.clone());
+    let x: Vec<f64> = (0..csr.ncols())
+        .map(|i| ((i * 7) % 13) as f64 - 6.0)
+        .collect();
+    let (mut got, mut want) = (vec![0.0; csr.nrows()], vec![0.0; csr.nrows()]);
+    tuned.op.spmv(&x, &mut got);
+    reference.spmv(&x, &mut want);
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0));
+    }
+}

@@ -1,0 +1,268 @@
+//! Out-of-core integration properties: a `ShardedOp` streamed from an
+//! on-disk shard container is indistinguishable from the in-memory CSR —
+//! over both apply directions and multi-vector widths, with empty shards,
+//! staged COO deltas, bounded windows, and background compaction racing
+//! concurrent applies. Malformed containers must surface typed errors,
+//! never panic.
+
+use proptest::prelude::*;
+use sparseopt::matrix::shard::write_shard_file;
+use sparseopt::matrix::{ShardError, ShardStore};
+use sparseopt::prelude::*;
+use std::sync::Arc;
+
+mod common;
+
+/// Builds a `ShardedOp` over an on-disk container written from `csr`,
+/// with `SerialCsr` shard kernels. The temp file is unlinked immediately
+/// (the open store's descriptor keeps it readable on unix).
+fn sharded_from_disk(
+    csr: &CsrMatrix,
+    rows_per_shard: usize,
+    window: usize,
+    threshold: f64,
+    tag: &str,
+) -> ShardedOp {
+    let path = std::env::temp_dir().join(format!(
+        "sparseopt-ooc-{}-{tag}-{rows_per_shard}.shards",
+        std::process::id()
+    ));
+    write_shard_file(&path, csr, rows_per_shard).expect("write container");
+    let store = Arc::new(ShardStore::open(&path).expect("open container"));
+    std::fs::remove_file(&path).ok();
+    let specs: Vec<ShardSpec> = (0..store.nshards())
+        .map(|i| {
+            let meta = store.meta(i).clone();
+            let loader_store = store.clone();
+            ShardSpec {
+                rows: meta.rows.clone(),
+                nnz: meta.nnz,
+                loader: Arc::new(move || loader_store.load(i).map_err(|e| e.to_string())),
+                builder: Arc::new(|csr: &Arc<CsrMatrix>, _reason| {
+                    Box::new(SerialCsr::new(csr.clone()))
+                }),
+            }
+        })
+        .collect();
+    ShardedOp::new((store.nrows(), store.ncols()), specs, window)
+        .with_compaction_threshold(threshold)
+}
+
+/// Dense reference for `Apply::NoTrans` from raw triplets.
+fn dense_forward(nrows: usize, entries: &[(usize, usize, f64)], x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; nrows];
+    for &(r, c, v) in entries {
+        y[r] += v * x[c];
+    }
+    y
+}
+
+/// Dense reference for `Apply::Trans` from raw triplets.
+fn dense_transposed(ncols: usize, entries: &[(usize, usize, f64)], x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; ncols];
+    for &(r, c, v) in entries {
+        y[c] += v * x[r];
+    }
+    y
+}
+
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in entries {
+        coo.push(r, c, v);
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Strategy: a square matrix as triplets whose bottom rows are often
+/// structurally empty (entries only land in the top 2/3), plus a batch of
+/// delta updates over the whole index space, a shard height, and a window.
+#[allow(clippy::type_complexity)]
+fn arb_case() -> impl Strategy<
+    Value = (
+        usize,
+        Vec<(usize, usize, f64)>,
+        Vec<(usize, usize, f64)>,
+        usize,
+        usize,
+    ),
+> {
+    (6usize..40).prop_flat_map(|n| {
+        let base = (0..2 * n / 3, 0..n, -100.0f64..100.0);
+        let delta = (0..n, 0..n, -100.0f64..100.0);
+        (
+            Just(n),
+            proptest::collection::vec(base, 0..120),
+            proptest::collection::vec(delta, 0..25),
+            1..=n,
+            1usize..6,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole equivalence: streamed == in-memory over both apply
+    /// directions and multi-vector widths, before and after staging a COO
+    /// delta overlay, at arbitrary shard heights (empty tail shards
+    /// included) and window sizes.
+    #[test]
+    fn sharded_matches_dense_reference(
+        (n, base, deltas, rows_per_shard, window) in arb_case()
+    ) {
+        let csr = build(n, &base);
+        // A threshold above 1.0 never triggers background compaction, so
+        // the overlay path itself is what's under test here.
+        let op = Arc::new(sharded_from_disk(&csr, rows_per_shard, window, 10.0, "prop"));
+
+        let mut all = base.clone();
+        for pass in 0..2 {
+            if pass == 1 {
+                for &(r, c, v) in &deltas {
+                    op.stage_delta(r, c, v);
+                }
+                all.extend_from_slice(&deltas);
+            }
+            let x: Vec<f64> = (0..n).map(|i| 0.5 + (i as f64 * 0.37).sin()).collect();
+            for apply in Apply::ALL {
+                let want = match apply {
+                    Apply::NoTrans => dense_forward(n, &all, &x),
+                    Apply::Trans => dense_transposed(n, &all, &x),
+                };
+                let mut got = vec![f64::NAN; n];
+                op.apply(apply, &x, &mut got);
+                common::assert_close_fma(&format!("{apply:?} pass {pass}"), &got, &want, 100.0);
+
+                for k in [1usize, 3, 8] {
+                    let mut xm = MultiVec::zeros(n, k);
+                    for (i, &xi) in x.iter().enumerate() {
+                        for j in 0..k {
+                            xm.row_mut(i)[j] = xi * (1.0 + j as f64);
+                        }
+                    }
+                    let mut ym = MultiVec::zeros(n, k);
+                    op.apply_multi(apply, &xm, &mut ym);
+                    for j in 0..k {
+                        let scaled: Vec<f64> = want.iter().map(|v| v * (1.0 + j as f64)).collect();
+                        let col: Vec<f64> = (0..n).map(|i| ym.row(i)[j]).collect();
+                        common::assert_close_fma(
+                            &format!("{apply:?} k={k} col {j} pass {pass}"),
+                            &col,
+                            &scaled,
+                            100.0 * (1.0 + j as f64),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compaction racing live applies: one thread hammers `spmv` while the
+/// main thread stages enough deltas to trip background compaction
+/// repeatedly. Every concurrent result must be *some* consistent prefix
+/// state (finite values, no panic); after quiescing, the operator must
+/// match the dense reference over every staged delta and have actually
+/// compacted at least once.
+#[test]
+fn compaction_under_concurrent_applies_preserves_results() {
+    let n = 120;
+    let base: Vec<(usize, usize, f64)> = (0..n)
+        .flat_map(|i| [(i, i, 2.0), (i, (i * 7 + 1) % n, -1.0)])
+        .collect();
+    let csr = build(n, &base);
+    let op = Arc::new(sharded_from_disk(&csr, 30, 2, 0.02, "compact"));
+
+    let deltas: Vec<(usize, usize, f64)> = (0..60)
+        .map(|k| ((k * 13) % n, (k * 29 + 3) % n, 0.5 + k as f64 * 0.01))
+        .collect();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let applier = {
+        let op = op.clone();
+        let stop = stop.clone();
+        let x = x.clone();
+        std::thread::spawn(move || {
+            let mut y = vec![0.0; n];
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                op.spmv(&x, &mut y);
+                assert!(y.iter().all(|v| v.is_finite()));
+            }
+        })
+    };
+    for &(r, c, v) in &deltas {
+        op.stage_delta(r, c, v);
+        std::thread::yield_now();
+    }
+    op.wait_for_compactions();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    applier.join().expect("applier thread");
+
+    assert!(
+        op.compactions_completed() >= 1,
+        "threshold 0.02 with 60 deltas over {} base nonzeros must compact",
+        base.len()
+    );
+    let mut all = base;
+    all.extend_from_slice(&deltas);
+    let want = dense_forward(n, &all, &x);
+    let mut got = vec![f64::NAN; n];
+    op.spmv(&x, &mut got);
+    common::assert_close_fma("post-compaction", &got, &want, 10.0);
+}
+
+/// Malformed containers: every corruption mode surfaces as a typed
+/// [`ShardError`], never a panic, and the variant identifies the cause.
+#[test]
+fn corrupt_containers_return_typed_errors() {
+    let csr = build(24, &(0..24).map(|i| (i, i, 1.0)).collect::<Vec<_>>());
+    let path = std::env::temp_dir().join(format!(
+        "sparseopt-ooc-corrupt-{}.shards",
+        std::process::id()
+    ));
+    write_shard_file(&path, &csr, 8).expect("write container");
+    let good = std::fs::read(&path).expect("read back");
+    // `ShardStore` has no `Debug` impl (it holds a live mapping), so
+    // unwrap the error arm by hand.
+    let open_err = |path: &std::path::Path| -> ShardError {
+        match ShardStore::open(path) {
+            Ok(_) => panic!("malformed container {} opened successfully", path.display()),
+            Err(e) => e,
+        }
+    };
+
+    // Truncations at every structural boundary: mid-magic, mid-header,
+    // mid-table, mid-payload.
+    for cut in [4usize, 20, 60, good.len() - 5] {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        let err = open_err(&path);
+        assert!(
+            matches!(
+                err,
+                ShardError::BadMagic | ShardError::Corrupt(_) | ShardError::Io(_)
+            ),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+
+    // Wrong magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xff;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(open_err(&path), ShardError::BadMagic));
+
+    // Unsupported version.
+    let mut bad = good.clone();
+    bad[8] = 99;
+    std::fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        open_err(&path),
+        ShardError::BadVersion { found: 99 }
+    ));
+
+    // Missing file is an Io error, not a panic.
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(open_err(&path), ShardError::Io(_)));
+}
